@@ -1,0 +1,1 @@
+bench/main.ml: Aig Analyze Array Bdd Bechamel Benchmark Cec_core Circuits Hashtbl Lazy List Measure Option Printf Proof Staged Support Synth Sys Tables Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/tables.ml: Buffer List Printf String

@@ -1,0 +1,552 @@
+(* cec_tool: command-line front end for the library.
+
+   Subcommands:
+     gen         generate a named benchmark circuit as ASCII AIGER
+     stats       print size statistics of an AIGER file
+     miter       build the miter of two AIGER files
+     dimacs      export a single-output miter's CNF in DIMACS
+     cec         check two AIGER files for equivalence (with proofs)
+     check-proof validate a resolution trace against a miter
+     suite       list the built-in benchmark suite *)
+
+module Cec = Cec_core.Cec
+module Sweep = Cec_core.Sweep
+
+(* Netlists are read as BLIF or AIGER depending on the extension. *)
+let read_aiger path =
+  try
+    if Filename.check_suffix path ".blif" then Ok (Aig.Blif.read_file path)
+    else Ok (Aig.Aiger.read_file path)
+  with
+  | Aig.Aiger.Parse_error msg | Aig.Blif.Parse_error msg ->
+    Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let netlist_to_string ?(blif = false) g =
+  if blif then Aig.Blif.to_string g else Aig.Aiger.to_string g
+
+let write_text path text =
+  match path with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
+
+(* --- circuit specifications for `gen` --- *)
+
+let circuit_of_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "unknown circuit spec %S (try add-rc:8, add-cla:8, add-csel:8, mul-arr:4, mul-sa:4, \
+          eq:8, lt:8, parity:16, alu:8, mux:4, rand:16:300:8)"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ "add-rc"; n ] -> Ok (Circuits.Adder.ripple_carry (int_of_string n))
+  | [ "add-cla"; n ] -> Ok (Circuits.Adder.carry_lookahead (int_of_string n))
+  | [ "add-csel"; n ] -> Ok (Circuits.Adder.carry_select (int_of_string n))
+  | [ "mul-arr"; n ] -> Ok (Circuits.Multiplier.array (int_of_string n))
+  | [ "mul-sa"; n ] -> Ok (Circuits.Multiplier.shift_add (int_of_string n))
+  | [ "eq"; n ] -> Ok (Circuits.Datapath.equality (int_of_string n))
+  | [ "lt"; n ] -> Ok (Circuits.Datapath.less_than (int_of_string n))
+  | [ "parity"; n ] -> Ok (Circuits.Datapath.parity (int_of_string n))
+  | [ "alu"; n ] -> Ok (Circuits.Datapath.alu (int_of_string n))
+  | [ "mux"; n ] -> Ok (Circuits.Datapath.mux_tree (int_of_string n))
+  | [ "rand"; inputs; ands; outputs ] ->
+    Ok
+      (Circuits.Random_aig.generate (Support.Rng.create 11)
+         ~num_inputs:(int_of_string inputs) ~num_ands:(int_of_string ands)
+         ~num_outputs:(int_of_string outputs))
+  | _ -> fail ()
+
+let apply_rewrite g = function
+  | None -> g
+  | Some "restructure" -> Circuits.Rewrite.restructure (Support.Rng.create 7) g
+  | Some "rebalance" -> Circuits.Rewrite.rebalance `Balanced g
+  | Some "double-negate" -> Circuits.Rewrite.double_negate g
+  | Some other -> failwith (Printf.sprintf "unknown rewrite %S" other)
+
+(* --- subcommand implementations (return exit codes) --- *)
+
+let run_gen spec rewrite output =
+  match circuit_of_spec spec with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok g ->
+    let g = apply_rewrite g rewrite in
+    let blif = match output with Some p -> Filename.check_suffix p ".blif" | None -> false in
+    write_text output (netlist_to_string ~blif g);
+    0
+
+let run_stats path =
+  match read_aiger path with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok g ->
+    Format.printf "%s: %a@." path Aig.pp_stats g;
+    0
+
+let run_miter path_a path_b output =
+  match (read_aiger path_a, read_aiger path_b) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok a, Ok b -> (
+    match Aig.Miter.build a b with
+    | m ->
+      write_text output (Aig.Aiger.to_string m);
+      0
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2)
+
+let run_dimacs path output =
+  match read_aiger path with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok g -> (
+    match Cnf.Tseitin.miter_formula g with
+    | f ->
+      write_text output (Cnf.Dimacs.to_string f);
+      0
+    | exception Invalid_argument msg ->
+      prerr_endline msg;
+      2)
+
+let engine_of_string lemma_reuse words max_conflicts incremental = function
+  | "mono" | "monolithic" -> Ok Cec.Monolithic
+  | "sweep" | "sweeping" ->
+    Ok
+      (Cec.Sweeping
+         { Sweep.default_config with Sweep.lemma_reuse; words; max_conflicts; incremental })
+  | other -> Error (Printf.sprintf "unknown engine %S (mono|sweep)" other)
+
+let print_cex cex =
+  print_string "counterexample: ";
+  Array.iter (fun b -> print_char (if b then '1' else '0')) cex;
+  print_newline ()
+
+let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental proof_out validate
+    =
+  match (read_aiger path_a, read_aiger path_b) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok a, Ok b -> (
+    match engine_of_string (not no_lemmas) words max_conflicts incremental engine_name with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok engine -> (
+      match Cec.check engine a b with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | report -> (
+        match report.Cec.verdict with
+        | Cec.Equivalent cert ->
+          let stats = Proof.Pstats.of_root cert.Cec.proof ~root:cert.Cec.root in
+          Format.printf "EQUIVALENT (conflicts=%d, sat_calls=%d)@." report.Cec.solver_conflicts
+            report.Cec.sat_calls;
+          Format.printf "proof: %a@." Proof.Pstats.pp stats;
+          (match proof_out with
+          | None -> ()
+          | Some path ->
+            let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+            write_text (Some path) (Proof.Export.trace_to_string trimmed ~root));
+          if validate then begin
+            match Cec_core.Certify.validate_against cert a b with
+            | Ok chains -> Format.printf "certificate validated (%d chains)@." chains
+            | Error e ->
+              Format.printf "certificate REJECTED: %a@." Cec_core.Certify.pp_error e;
+              exit 3
+          end;
+          0
+        | Cec.Inequivalent cex ->
+          print_endline "INEQUIVALENT";
+          print_cex cex;
+          1
+        | Cec.Undecided ->
+          print_endline "UNDECIDED (conflict budget exhausted)";
+          4)))
+
+let run_check_proof miter_path trace_path =
+  match read_aiger miter_path with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok miter -> (
+    let text =
+      let ic = open_in trace_path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Proof.Export.trace_of_string text with
+    | exception Failure msg ->
+      prerr_endline msg;
+      2
+    | proof, root -> (
+      match Cnf.Tseitin.miter_formula miter with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | formula -> (
+        match Proof.Checker.check proof ~root ~formula () with
+        | Ok chains ->
+          Format.printf "OK: %d chains verified against %s@." chains miter_path;
+          0
+        | Error e ->
+          Format.printf "REJECTED: %a@." Proof.Checker.pp_error e;
+          3)))
+
+let run_fraig path words output =
+  match read_aiger path with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok g ->
+    let cfg = { Sweep.default_config with Sweep.words } in
+    let reduced, stats = Sweep.fraig g cfg in
+    Format.eprintf "fraig: %d ANDs -> %d ANDs (%d merges, %d constants, %d SAT calls)@."
+      (Aig.num_ands g) (Aig.num_ands reduced)
+      stats.Sweep.merges stats.Sweep.const_merges stats.Sweep.sat_calls;
+    write_text output (Aig.Aiger.to_string reduced);
+    0
+
+let run_sat path trace_out rup_check =
+  match Cnf.Dimacs.read_file path with
+  | exception Cnf.Dimacs.Parse_error msg ->
+    prerr_endline msg;
+    2
+  | exception Sys_error msg ->
+    prerr_endline msg;
+    2
+  | formula -> (
+    let solver = Sat.Solver.create () in
+    Sat.Solver.add_formula solver formula;
+    match Sat.Solver.solve solver with
+    | Sat.Solver.Sat model ->
+      print_endline "s SATISFIABLE";
+      print_string "v";
+      Array.iteri
+        (fun v value -> Printf.printf " %d" (if value then v + 1 else -(v + 1)))
+        model;
+      print_endline " 0";
+      10
+    | Sat.Solver.Unknown | Sat.Solver.Unsat_assuming _ ->
+      print_endline "s UNKNOWN";
+      0
+    | Sat.Solver.Unsat root ->
+      print_endline "s UNSATISFIABLE";
+      let proof = Sat.Solver.proof solver in
+      let trimmed, troot = Proof.Trim.cone proof ~root in
+      (match Proof.Checker.check trimmed ~root:troot ~formula () with
+      | Ok chains -> Printf.printf "c proof checked (%d chains)\n" chains
+      | Error e ->
+        Format.printf "c proof REJECTED: %a@." Proof.Checker.pp_error e;
+        exit 3);
+      if rup_check then begin
+        match Proof.Rup.check_drup_string formula (Proof.Export.drup_to_string trimmed ~root:troot) with
+        | Ok lemmas -> Printf.printf "c DRUP checked (%d lemmas)\n" lemmas
+        | Error e ->
+          Format.printf "c DRUP REJECTED: %a@." Proof.Rup.pp_error e;
+          exit 3
+      end;
+      (match trace_out with
+      | None -> ()
+      | Some out -> write_text (Some out) (Proof.Export.trace_to_string trimmed ~root:troot));
+      20)
+
+let run_opt path passes words output =
+  match read_aiger path with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok g ->
+    let apply g pass =
+      let before = Aig.num_ands g in
+      let g' =
+        match pass with
+        | "cutsweep" -> Synth.Cutsweep.reduce g
+        | "fraig" ->
+          let reduced, _ = Sweep.fraig g { Sweep.default_config with Sweep.words } in
+          Aig.cleanup reduced
+        | "balance" -> Circuits.Rewrite.rebalance `Balanced g
+        | "cleanup" -> Aig.cleanup g
+        | other -> failwith (Printf.sprintf "unknown pass %S (cutsweep|fraig|balance|cleanup)" other)
+      in
+      Format.eprintf "%-9s %d -> %d ANDs (depth %d -> %d)@." pass before (Aig.num_ands g')
+        (Aig.depth g) (Aig.depth g');
+      g'
+    in
+    (match
+       List.fold_left apply g (String.split_on_char ',' passes |> List.filter (fun s -> s <> ""))
+     with
+    | result ->
+      write_text output (Aig.Aiger.to_string result);
+      0
+    | exception Failure msg ->
+      prerr_endline msg;
+      2)
+
+let run_bounded path_a path_b frames engine_name incremental =
+  let read path =
+    try Ok (Aig.Seq.read_file path) with
+    | Aig.Seq.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Sys_error msg -> Error msg
+  in
+  match (read path_a, read path_b) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok a, Ok b -> (
+    match engine_of_string true Sweep.default_config.Sweep.words None incremental engine_name with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok engine -> (
+      match Cec.check_bounded ~frames engine a b with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | report -> (
+        match report.Cec.verdict with
+        | Cec.Equivalent cert ->
+          Format.printf "BOUNDED-EQUIVALENT for %d frames (conflicts=%d)@." frames
+            report.Cec.solver_conflicts;
+          (match Cec_core.Certify.validate cert with
+          | Ok chains -> Format.printf "certificate validated (%d chains)@." chains
+          | Error e ->
+            Format.printf "certificate REJECTED: %a@." Cec_core.Certify.pp_error e;
+            exit 3);
+          0
+        | Cec.Inequivalent trace ->
+          print_endline "INEQUIVALENT";
+          print_cex trace;
+          1
+        | Cec.Undecided ->
+          print_endline "UNDECIDED";
+          4)))
+
+let run_bmc path frames engine_name incremental =
+  match
+    try Ok (Aig.Seq.read_file path) with
+    | Aig.Seq.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Sys_error msg -> Error msg
+  with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok seq -> (
+    match engine_of_string true Sweep.default_config.Sweep.words None incremental engine_name with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok engine -> (
+      match (Cec.check_bounded_safety ~frames engine seq).Cec.verdict with
+      | Cec.Equivalent cert ->
+        Format.printf "SAFE for %d frames@." frames;
+        (match Cec_core.Certify.validate cert with
+        | Ok chains -> Format.printf "certificate validated (%d chains)@." chains
+        | Error e ->
+          Format.printf "certificate REJECTED: %a@." Cec_core.Certify.pp_error e;
+          exit 3);
+        0
+      | Cec.Inequivalent trace ->
+        print_endline "UNSAFE (bad state reachable)";
+        print_cex trace;
+        1
+      | Cec.Undecided ->
+        print_endline "UNDECIDED";
+        4))
+
+let run_suite () =
+  List.iter
+    (fun case ->
+      let miter = Circuits.Suite.miter_of case in
+      Format.printf "%-16s %a@." case.Circuits.Suite.name Aig.pp_stats miter)
+    Circuits.Suite.default;
+  0
+
+(* --- cmdliner wiring --- *)
+
+open Cmdliner
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let gen_cmd =
+  let spec =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"Circuit spec, e.g. add-rc:8.")
+  in
+  let rewrite =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "rewrite" ] ~docv:"KIND"
+          ~doc:"Apply a function-preserving rewrite: restructure, rebalance, double-negate.")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a benchmark circuit as ASCII AIGER.")
+    Term.(const run_gen $ spec $ rewrite $ output_arg)
+
+let file_pos n doc = Arg.(required & pos n (some file) None & info [] ~docv:"FILE" ~doc)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Print AIG size statistics.")
+    Term.(const run_stats $ file_pos 0 "AIGER file.")
+
+let miter_cmd =
+  Cmd.v
+    (Cmd.info "miter" ~doc:"Build the single-output miter of two circuits.")
+    Term.(
+      const run_miter $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file."
+      $ output_arg)
+
+let dimacs_cmd =
+  Cmd.v
+    (Cmd.info "dimacs" ~doc:"Export a single-output miter's CNF (with the output unit) in DIMACS.")
+    Term.(const run_dimacs $ file_pos 0 "Single-output AIGER file." $ output_arg)
+
+let cec_cmd =
+  let engine =
+    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+  in
+  let words =
+    Arg.(
+      value
+      & opt int Sweep.default_config.Sweep.words
+      & info [ "words" ] ~doc:"Random simulation words.")
+  in
+  let no_lemmas =
+    Arg.(value & flag & info [ "no-lemmas" ] ~doc:"Disable lemma reuse (ablation).")
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "max-conflicts" ] ~doc:"Per-call conflict budget.")
+  in
+  let proof_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"FILE" ~doc:"Write the trimmed resolution trace here.")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ] ~doc:"Re-check the certificate against a rebuilt miter CNF.")
+  in
+  let incremental =
+    Arg.(
+      value & flag
+      & info [ "incremental" ]
+          ~doc:"One persistent solver with native assumptions instead of a fresh solver per query.")
+  in
+  Cmd.v
+    (Cmd.info "cec" ~doc:"Check two AIGER circuits for equivalence."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Exit codes: 0 equivalent, 1 inequivalent, 2 usage error, 3 certificate rejected, 4 \
+              undecided.";
+         ])
+    Term.(
+      const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
+      $ words $ no_lemmas $ budget $ incremental $ proof_out $ validate)
+
+let check_proof_cmd =
+  Cmd.v
+    (Cmd.info "check-proof" ~doc:"Validate a resolution trace against a miter AIGER file.")
+    Term.(
+      const run_check_proof $ file_pos 0 "Single-output miter AIGER file."
+      $ file_pos 1 "Resolution trace file.")
+
+let fraig_cmd =
+  let words =
+    Arg.(
+      value
+      & opt int Sweep.default_config.Sweep.words
+      & info [ "words" ] ~doc:"Random simulation words.")
+  in
+  Cmd.v
+    (Cmd.info "fraig" ~doc:"Functional reduction: merge SAT-proved equivalent nodes.")
+    Term.(const run_fraig $ file_pos 0 "AIGER file." $ words $ output_arg)
+
+let opt_cmd =
+  let passes =
+    Arg.(
+      value
+      & opt string "cutsweep,fraig,balance"
+      & info [ "passes" ] ~docv:"LIST" ~doc:"Comma-separated passes: cutsweep, fraig, balance, cleanup.")
+  in
+  let words =
+    Arg.(
+      value
+      & opt int Sweep.default_config.Sweep.words
+      & info [ "words" ] ~doc:"Random simulation words for fraig.")
+  in
+  Cmd.v
+    (Cmd.info "opt" ~doc:"Run an optimization pipeline over an AIGER file.")
+    Term.(const run_opt $ file_pos 0 "AIGER file." $ passes $ words $ output_arg)
+
+let bounded_cmd =
+  let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Unrolling depth.") in
+  let engine =
+    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+  in
+  let incremental =
+    Arg.(value & flag & info [ "incremental" ] ~doc:"Incremental sweeping engine.")
+  in
+  Cmd.v
+    (Cmd.info "bounded"
+       ~doc:"Bounded sequential equivalence of two latch-bearing AIGER files (unroll + CEC).")
+    Term.(
+      const run_bounded $ file_pos 0 "Golden sequential AIGER." $ file_pos 1 "Revised sequential AIGER."
+      $ frames $ engine $ incremental)
+
+let bmc_cmd =
+  let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Unrolling depth.") in
+  let engine =
+    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+  in
+  let incremental =
+    Arg.(value & flag & info [ "incremental" ] ~doc:"Incremental sweeping engine.")
+  in
+  Cmd.v
+    (Cmd.info "bmc"
+       ~doc:"Bounded safety: treat every output of a sequential AIGER file as a bad-state flag.")
+    Term.(const run_bmc $ file_pos 0 "Sequential AIGER file." $ frames $ engine $ incremental)
+
+let sat_cmd =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "proof" ] ~docv:"FILE" ~doc:"Write the trimmed resolution trace here.")
+  in
+  let rup = Arg.(value & flag & info [ "rup" ] ~doc:"Also verify the derived clauses by RUP.") in
+  Cmd.v
+    (Cmd.info "sat" ~doc:"Solve a DIMACS CNF with proof logging (exit 10 SAT / 20 UNSAT).")
+    Term.(const run_sat $ file_pos 0 "DIMACS CNF file." $ trace_out $ rup)
+
+let suite_cmd =
+  Cmd.v
+    (Cmd.info "suite" ~doc:"List the built-in benchmark suite with miter sizes.")
+    Term.(const run_suite $ const ())
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "cec_tool" ~version:"1.0.0"
+       ~doc:"Combinational equivalence checking with resolution proofs.")
+    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

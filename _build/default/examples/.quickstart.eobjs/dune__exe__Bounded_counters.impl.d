@@ -1,0 +1,1 @@
+examples/bounded_counters.ml: Aig Array Cec_core Circuits Format List Printf Proof

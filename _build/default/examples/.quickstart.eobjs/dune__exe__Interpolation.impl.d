@@ -1,0 +1,1 @@
+examples/interpolation.ml: Aig Array Circuits Cnf Format Proof Sat Support

@@ -1,0 +1,1 @@
+examples/proof_trace.ml: Aig Cec_core Circuits Cnf Format Proof Support

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aig Array Cec_core Circuits Format Proof

@@ -1,0 +1,1 @@
+examples/scaling_study.ml: Aig Cec_core Circuits Format List Printf Proof

@@ -1,0 +1,1 @@
+examples/sweeping_flow.ml: Aig Cec_core Circuits Format List Proof

@@ -1,0 +1,1 @@
+examples/synthesis_flow.ml: Aig Cec_core Circuits Format Support Synth

@@ -1,0 +1,31 @@
+(* Scaling study: how stitched and monolithic proof sizes grow with
+   circuit size on ripple-vs-lookahead adder miters (a miniature of
+   experiment F1 in EXPERIMENTS.md).
+
+   Run with: dune exec examples/scaling_study.exe *)
+
+module Cec = Cec_core.Cec
+
+let proof_size engine miter =
+  match (Cec.check_miter engine miter).Cec.verdict with
+  | Cec.Equivalent cert ->
+    let s = Proof.Pstats.of_root cert.Cec.proof ~root:cert.Cec.root in
+    Some (s.Proof.Pstats.chains, s.Proof.Pstats.resolutions)
+  | Cec.Inequivalent _ | Cec.Undecided -> None
+
+let () =
+  Format.printf "width |   miter ANDs | mono chains / resolutions | sweep chains / resolutions@.";
+  Format.printf "------+--------------+---------------------------+---------------------------@.";
+  List.iter
+    (fun width ->
+      let miter =
+        Aig.Miter.build (Circuits.Adder.ripple_carry width) (Circuits.Adder.carry_lookahead width)
+      in
+      let mono = proof_size Cec.Monolithic miter in
+      let sweep = proof_size (Cec.Sweeping Cec_core.Sweep.default_config) miter in
+      let show = function
+        | Some (chains, res) -> Printf.sprintf "%7d / %-10d" chains res
+        | None -> "        failed     "
+      in
+      Format.printf "%5d | %12d | %s | %s@." width (Aig.num_ands miter) (show mono) (show sweep))
+    [ 2; 4; 8; 12; 16; 24 ]

@@ -1,0 +1,1 @@
+lib/aig/aig.ml: Aiger Blif Cone Cut Graph Lit Miter Seq Sim

@@ -1,0 +1,1 @@
+lib/aig/aiger.ml: Array Buffer Char Fun Graph List Lit Printf String

@@ -1,0 +1,1 @@
+lib/aig/blif.ml: Array Buffer Fun Graph Hashtbl List Lit Printf String

@@ -1,0 +1,1 @@
+lib/aig/blif.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/cone.ml: Array Graph List Lit

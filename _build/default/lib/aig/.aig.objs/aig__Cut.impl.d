@@ -1,0 +1,1 @@
+lib/aig/cut.ml: Array Format Graph Int64 List Lit

@@ -1,0 +1,1 @@
+lib/aig/miter.ml: Array Graph

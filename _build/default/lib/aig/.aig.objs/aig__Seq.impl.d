@@ -1,0 +1,1 @@
+lib/aig/seq.ml: Array Buffer Fun Graph List Lit Printf String

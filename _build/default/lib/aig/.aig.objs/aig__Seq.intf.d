@@ -1,0 +1,1 @@
+lib/aig/seq.mli: Graph

@@ -1,0 +1,1 @@
+lib/aig/sim.ml: Array Graph Int64 Lit Support

@@ -1,0 +1,15 @@
+(** Library interface: And-Inverter Graphs and companions.
+
+    {!Aig} re-exports the graph operations at top level and exposes the
+    companion modules, so clients write [Aig.and_], [Aig.Lit.neg],
+    [Aig.Sim.run], etc. *)
+
+module Lit = Lit
+module Sim = Sim
+module Cone = Cone
+module Aiger = Aiger
+module Miter = Miter
+module Cut = Cut
+module Blif = Blif
+module Seq = Seq
+include Graph

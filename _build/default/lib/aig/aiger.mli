@@ -1,0 +1,27 @@
+(** Reading and writing combinational AIGs in the ASCII AIGER format
+    ("aag", Biere 2007).  Latches are not supported: this is a
+    combinational-equivalence project, and files with latches are
+    rejected with {!Parse_error}.  Both the ASCII ("aag") and the
+    binary ("aig") encodings are read; writing defaults to ASCII, with
+    {!to_binary_string} for the binary form. *)
+
+exception Parse_error of string
+
+(** Render a graph.  AND fanins are emitted with [rhs0 >= rhs1] as the
+    format requires. *)
+val to_string : Graph.t -> string
+
+val write_channel : out_channel -> Graph.t -> unit
+val write_file : string -> Graph.t -> unit
+
+(** Render in the compact binary format ("aig"): implicit input
+    literals and varint-delta-encoded ANDs. *)
+val to_binary_string : Graph.t -> string
+
+(** Parse an AIGER document, auto-detecting ASCII ("aag") vs binary
+    ("aig") from the header.
+    @raise Parse_error on malformed input or latches. *)
+val of_string : string -> Graph.t
+
+val read_channel : in_channel -> Graph.t
+val read_file : string -> Graph.t

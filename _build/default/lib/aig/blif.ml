@@ -1,0 +1,169 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- writing --- *)
+
+let to_string ?(model_name = "cecproof") g =
+  let buf = Buffer.create 4096 in
+  let input_name i = Printf.sprintf "x%d" i in
+  let node_name n = Printf.sprintf "n%d" n in
+  let signal_of_var v =
+    if v = 0 then fail "internal: constant has no signal"
+    else if Graph.is_input_node g v then input_name (v - 1)
+    else node_name v
+  in
+  Printf.bprintf buf ".model %s\n" model_name;
+  Printf.bprintf buf ".inputs%s\n"
+    (String.concat "" (List.init (Graph.num_inputs g) (fun i -> " " ^ input_name i)));
+  Printf.bprintf buf ".outputs%s\n"
+    (String.concat "" (List.init (Graph.num_outputs g) (fun o -> Printf.sprintf " f%d" o)));
+  Graph.iter_ands g (fun n ->
+      let f0 = Graph.fanin0 g n and f1 = Graph.fanin1 g n in
+      Printf.bprintf buf ".names %s %s %s\n%c%c 1\n"
+        (signal_of_var (Lit.var f0))
+        (signal_of_var (Lit.var f1))
+        (node_name n)
+        (if Lit.is_neg f0 then '0' else '1')
+        (if Lit.is_neg f1 then '0' else '1'));
+  Array.iteri
+    (fun o l ->
+      if l = Lit.false_ then Printf.bprintf buf ".names f%d\n" o
+      else if l = Lit.true_ then Printf.bprintf buf ".names f%d\n1\n" o
+      else
+        Printf.bprintf buf ".names %s f%d\n%c 1\n"
+          (signal_of_var (Lit.var l))
+          o
+          (if Lit.is_neg l then '0' else '1'))
+    (Graph.outputs g);
+  Buffer.add_string buf ".end\n";
+  Buffer.contents buf
+
+let write_file ?model_name path g =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string ?model_name g))
+
+(* --- reading --- *)
+
+type table = { inputs : string list; rows : (string * char) list }
+
+let tokenize line = String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+
+(* Join "\\"-continued lines, strip comments and blanks. *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec join acc pending = function
+    | [] -> List.rev (if pending = "" then acc else pending :: acc)
+    | line :: rest ->
+      let line =
+        match String.index_opt line '#' with
+        | Some i -> String.sub line 0 i
+        | None -> line
+      in
+      let line = String.trim line in
+      if String.length line > 0 && line.[String.length line - 1] = '\\' then
+        join acc (pending ^ String.sub line 0 (String.length line - 1) ^ " ") rest
+      else if pending <> "" then join ((pending ^ line) :: acc) "" rest
+      else if line = "" then join acc "" rest
+      else join (line :: acc) "" rest
+  in
+  join [] "" raw
+
+let of_string text =
+  let lines = logical_lines text in
+  let inputs = ref [] and outputs = ref [] in
+  let tables : (string, table) Hashtbl.t = Hashtbl.create 64 in
+  let saw_model = ref false in
+  let rec parse = function
+    | [] -> ()
+    | line :: rest -> (
+      match tokenize line with
+      | ".model" :: _ ->
+        if !saw_model then fail "multiple models are not supported";
+        saw_model := true;
+        parse rest
+      | ".inputs" :: names ->
+        inputs := !inputs @ names;
+        parse rest
+      | ".outputs" :: names ->
+        outputs := !outputs @ names;
+        parse rest
+      | [ ".latch" ] | ".latch" :: _ -> fail "latches are not supported (combinational only)"
+      | ".names" :: signals -> (
+        match List.rev signals with
+        | [] -> fail ".names without signals"
+        | out :: rev_ins ->
+          let ins = List.rev rev_ins in
+          let rec take_rows acc = function
+            | line :: rest when String.length line > 0 && line.[0] <> '.' -> (
+              match tokenize line with
+              | [ out_val ] when ins = [] && String.length out_val = 1 ->
+                take_rows (("", out_val.[0]) :: acc) rest
+              | [ pattern; out_val ] when String.length out_val = 1 ->
+                if String.length pattern <> List.length ins then
+                  fail "row %S arity mismatch for %s" line out;
+                take_rows ((pattern, out_val.[0]) :: acc) rest
+              | _ -> fail "malformed PLA row %S" line)
+            | rest -> (List.rev acc, rest)
+          in
+          let rows, rest = take_rows [] rest in
+          if Hashtbl.mem tables out then fail "signal %s defined twice" out;
+          Hashtbl.add tables out { inputs = ins; rows };
+          parse rest)
+      | [ ".end" ] -> ()
+      | directive :: _ when String.length directive > 0 && directive.[0] = '.' ->
+        fail "unsupported directive %S" directive
+      | _ -> fail "unexpected line %S" line)
+  in
+  parse lines;
+  if !inputs = [] && Hashtbl.length tables = 0 then fail "no content";
+  let g = Graph.create ~num_inputs:(List.length !inputs) in
+  let env : (string, Lit.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri (fun i name -> Hashtbl.replace env name (Graph.input g i)) !inputs;
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let rec resolve name =
+    match Hashtbl.find_opt env name with
+    | Some l -> l
+    | None ->
+      if Hashtbl.mem in_progress name then fail "combinational cycle through %s" name;
+      Hashtbl.add in_progress name ();
+      let t =
+        match Hashtbl.find_opt tables name with
+        | Some t -> t
+        | None -> fail "undefined signal %s" name
+      in
+      let input_lits = List.map resolve t.inputs in
+      (* Split rows by output value; BLIF requires a single output
+         phase per table, but tolerate mixtures by preferring the
+         on-set. *)
+      let on_rows = List.filter (fun (_, v) -> v = '1') t.rows in
+      let off_rows = List.filter (fun (_, v) -> v = '0') t.rows in
+      let cube_of pattern =
+        Graph.and_list g
+          (List.concat
+             (List.mapi
+                (fun i l ->
+                  match pattern.[i] with
+                  | '1' -> [ l ]
+                  | '0' -> [ Lit.neg l ]
+                  | '-' -> []
+                  | c -> fail "bad PLA character %C" c)
+                input_lits))
+      in
+      let value =
+        if t.rows = [] then Lit.false_
+        else if on_rows <> [] then Graph.or_list g (List.map (fun (p, _) -> cube_of p) on_rows)
+        else Lit.neg (Graph.or_list g (List.map (fun (p, _) -> cube_of p) off_rows))
+      in
+      Hashtbl.remove in_progress name;
+      Hashtbl.replace env name value;
+      value
+  in
+  List.iter (fun name -> Graph.add_output g (resolve name)) !outputs;
+  g
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

@@ -1,0 +1,19 @@
+(** Reading and writing combinational netlists in Berkeley's BLIF
+    format (.model / .inputs / .outputs / .names with PLA tables).
+
+    Reading accepts gates in any order (dependencies are resolved
+    recursively) and both on-set and off-set tables; latches and
+    multiple models are rejected — this is a combinational project.
+    Writing emits one two-input [.names] per AND node plus
+    buffer/inverter tables for the outputs. *)
+
+exception Parse_error of string
+
+val to_string : ?model_name:string -> Graph.t -> string
+val write_file : ?model_name:string -> string -> Graph.t -> unit
+
+(** @raise Parse_error on malformed input, latches, combinational
+    cycles, or undefined signals. *)
+val of_string : string -> Graph.t
+
+val read_file : string -> Graph.t

@@ -1,0 +1,15 @@
+(** Transitive fanin cones and structural supports. *)
+
+(** [tfi g lits] is the set of node identifiers in the transitive
+    fanin of [lits] (including the literals' own nodes, excluding the
+    constant), as a sorted array. *)
+val tfi : Graph.t -> Lit.t list -> int array
+
+(** Same, restricted to AND nodes, in topological order. *)
+val tfi_ands : Graph.t -> Lit.t list -> int array
+
+(** Primary-input indices (0-based) in the structural support. *)
+val support : Graph.t -> Lit.t list -> int array
+
+(** Number of AND nodes in the cone. *)
+val size : Graph.t -> Lit.t list -> int

@@ -1,0 +1,117 @@
+type cut = { leaves : int array; truth : int64 }
+
+let size c = Array.length c.leaves
+let trivial n = { leaves = [| n |]; truth = 0b10L }
+
+(* Merge two sorted leaf arrays; None if the union exceeds k. *)
+let merge_leaves k a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make k 0 in
+  let rec loop i j n =
+    if i < la && j < lb then begin
+      if n >= k then None
+      else if a.(i) = b.(j) then begin
+        out.(n) <- a.(i);
+        loop (i + 1) (j + 1) (n + 1)
+      end
+      else if a.(i) < b.(j) then begin
+        out.(n) <- a.(i);
+        loop (i + 1) j (n + 1)
+      end
+      else begin
+        out.(n) <- b.(j);
+        loop i (j + 1) (n + 1)
+      end
+    end
+    else begin
+      let rest_len = la - i + (lb - j) in
+      if n + rest_len > k then None
+      else begin
+        Array.blit a i out n (la - i);
+        Array.blit b j out (n + (la - i)) (lb - j);
+        Some (Array.sub out 0 (n + rest_len))
+      end
+    end
+  in
+  loop 0 0 0
+
+(* Re-express [truth] (over [from_leaves]) over the superset
+   [to_leaves]: for every assignment index of the wide table, project
+   onto the narrow leaves and look up. *)
+let expand_truth truth from_leaves to_leaves =
+  let wide = Array.length to_leaves in
+  let pos =
+    Array.map
+      (fun leaf ->
+        let rec find i = if to_leaves.(i) = leaf then i else find (i + 1) in
+        find 0)
+      from_leaves
+  in
+  let out = ref 0L in
+  for idx = 0 to (1 lsl wide) - 1 do
+    let narrow = ref 0 in
+    Array.iteri (fun j p -> if (idx lsr p) land 1 = 1 then narrow := !narrow lor (1 lsl j)) pos;
+    if Int64.logand (Int64.shift_right_logical truth !narrow) 1L = 1L then
+      out := Int64.logor !out (Int64.shift_left 1L idx)
+  done;
+  !out
+
+let mask_for width =
+  if width >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl width)) 1L
+
+(* [subsumes a b]: a's leaves are a subset of b's (a dominates b, so b
+   is redundant). *)
+let subsumes a b =
+  Array.for_all (fun l -> Array.exists (fun m -> m = l) b.leaves) a.leaves
+
+let enumerate g ~k ~max_cuts =
+  if k < 1 || k > 6 then invalid_arg "Cut.enumerate: k must be within [1, 6]";
+  if max_cuts < 1 then invalid_arg "Cut.enumerate: max_cuts must be positive";
+  let cuts = Array.make (Graph.num_nodes g) [] in
+  for i = 0 to Graph.num_inputs g - 1 do
+    cuts.(1 + i) <- [ trivial (1 + i) ]
+  done;
+  Graph.iter_ands g (fun n ->
+      let f0 = Graph.fanin0 g n and f1 = Graph.fanin1 g n in
+      let candidates = ref [ trivial n ] in
+      List.iter
+        (fun c0 ->
+          List.iter
+            (fun c1 ->
+              match merge_leaves k c0.leaves c1.leaves with
+              | None -> ()
+              | Some leaves ->
+                let t0 = expand_truth c0.truth c0.leaves leaves in
+                let t1 = expand_truth c1.truth c1.leaves leaves in
+                let t0 = if Lit.is_neg f0 then Int64.lognot t0 else t0 in
+                let t1 = if Lit.is_neg f1 then Int64.lognot t1 else t1 in
+                let truth = Int64.logand (mask_for (Array.length leaves)) (Int64.logand t0 t1) in
+                candidates := { leaves; truth } :: !candidates)
+            cuts.(Lit.var f1))
+        cuts.(Lit.var f0);
+      (* Deduplicate, drop dominated cuts, keep the smallest. *)
+      let sorted =
+        List.sort_uniq compare !candidates
+        |> List.sort (fun a b -> compare (size a) (size b))
+      in
+      let kept = ref [] in
+      List.iter
+        (fun c ->
+          if
+            List.length !kept < max_cuts
+            && not (List.exists (fun better -> subsumes better c) !kept)
+          then kept := c :: !kept)
+        sorted;
+      cuts.(n) <- List.rev !kept);
+  cuts
+
+let eval_truth c assignment =
+  if Array.length assignment <> size c then invalid_arg "Cut.eval_truth: wrong arity";
+  let idx = ref 0 in
+  Array.iteri (fun i v -> if v then idx := !idx lor (1 lsl i)) assignment;
+  Int64.logand (Int64.shift_right_logical c.truth !idx) 1L = 1L
+
+let pp fmt c =
+  Format.fprintf fmt "{";
+  Array.iteri (fun i l -> Format.fprintf fmt (if i = 0 then "%d" else " %d") l) c.leaves;
+  Format.fprintf fmt " : %Lx}" c.truth

@@ -1,0 +1,38 @@
+(** K-feasible cut enumeration with truth tables.
+
+    A {e cut} of node [n] is a set of nodes (leaves) such that every
+    path from an input to [n] passes through a leaf; a k-feasible cut
+    has at most [k] leaves.  Cuts drive every window-based AIG
+    optimization: each cut gives a local function of at most [k]
+    variables, recorded here as a truth table over the leaves (so
+    [k <= 6] packs into one [int64]).
+
+    Enumeration is the standard bottom-up merge: the cut set of an AND
+    node is the cross product of its fanins' cut sets, filtered to
+    [k]-feasible, deduplicated, dominated cuts removed, and capped at
+    [max_cuts] per node (keeping smaller cuts first). *)
+
+type cut = {
+  leaves : int array;  (** node identifiers, strictly ascending *)
+  truth : int64;  (** function of the node over the leaves; bit [i] is
+                      the value under the assignment encoded by [i]
+                      (leaf 0 least significant) *)
+}
+
+(** Number of leaves. *)
+val size : cut -> int
+
+(** The trivial cut of a node: itself, with truth [0b10]. *)
+val trivial : int -> cut
+
+(** [enumerate g ~k ~max_cuts] computes cut sets for every node.
+    Index the result by node identifier; entry 0 (the constant) is the
+    empty list, inputs get their trivial cut only.
+    @raise Invalid_argument unless [1 <= k <= 6]. *)
+val enumerate : Graph.t -> k:int -> max_cuts:int -> cut list array
+
+(** [eval_truth cut assignment] evaluates the packed truth table under
+    per-leaf values ([assignment.(i)] is the value of [cut.leaves.(i)]). *)
+val eval_truth : cut -> bool array -> bool
+
+val pp : Format.formatter -> cut -> unit

@@ -1,0 +1,28 @@
+type t = int
+
+let false_ = 0
+let true_ = 1
+
+let make var ~neg =
+  assert (var >= 0);
+  (var lsl 1) lor (if neg then 1 else 0)
+
+let of_var var = make var ~neg:false
+let var l = l lsr 1
+let is_neg l = l land 1 = 1
+let neg l = l lxor 1
+let apply_sign l ~neg = if neg then l lxor 1 else l
+let abs l = l land lnot 1
+let is_const l = l lsr 1 = 0
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (l : t) = l land max_int
+
+let to_dimacs l = if is_neg l then -(var l + 1) else var l + 1
+
+let of_dimacs d =
+  if d = 0 then invalid_arg "Lit.of_dimacs: 0 is not a literal";
+  make (Stdlib.abs d - 1) ~neg:(d < 0)
+
+let to_string l = string_of_int (to_dimacs l)
+let pp fmt l = Format.pp_print_string fmt (to_string l)

@@ -1,0 +1,53 @@
+(** Literals: a variable index paired with a sign, packed into one [int].
+
+    The encoding is the AIGER convention, [2 * var + sign], shared by
+    the AIG package and the CNF/SAT packages so that the Tseitin
+    transform of a graph is the identity on literals.  Variable 0 is
+    reserved by the AIG for the constant node: literal 0 denotes
+    constant false, literal 1 constant true.  A plain CNF formula may
+    use variable 0 as an ordinary variable. *)
+
+type t = int
+
+(** The two constant literals of an AIG. *)
+val false_ : t
+
+val true_ : t
+
+(** [make var ~neg] packs a variable index ([var >= 0]) and a sign. *)
+val make : int -> neg:bool -> t
+
+(** Positive literal of a variable. *)
+val of_var : int -> t
+
+(** Variable index of a literal. *)
+val var : t -> int
+
+(** [true] iff the literal is complemented. *)
+val is_neg : t -> bool
+
+(** Complement. *)
+val neg : t -> t
+
+(** [apply_sign l ~neg] complements [l] iff [neg]. *)
+val apply_sign : t -> neg:bool -> t
+
+(** Strip any complement: the positive literal of the same variable. *)
+val abs : t -> t
+
+(** [is_const l] holds for literals of variable 0 (AIG constants). *)
+val is_const : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** Render as in DIMACS: [var+1] with a leading [-] when complemented
+    (so that variable 0 prints as 1/-1). *)
+val to_dimacs : t -> int
+
+(** Inverse of [to_dimacs].  @raise Invalid_argument on 0. *)
+val of_dimacs : int -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/bdd/equiv.ml: Aig Array Manager

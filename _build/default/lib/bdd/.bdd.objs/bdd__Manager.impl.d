@@ -1,0 +1,1 @@
+lib/bdd/manager.ml: Aig Array Fun Hashtbl List Support

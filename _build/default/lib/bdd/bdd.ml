@@ -1,0 +1,5 @@
+(** Library interface: the ROBDD package and the BDD-based
+    equivalence-checking baseline. *)
+
+module Manager = Manager
+module Equiv = Equiv

@@ -1,0 +1,200 @@
+module Veci = Support.Veci
+
+type node = int
+
+exception Node_limit
+
+type t = {
+  num_vars : int;
+  max_nodes : int;
+  vars : Veci.t; (* variable index per node; -1 for terminals *)
+  lows : Veci.t;
+  highs : Veci.t;
+  unique : (int * int * int, node) Hashtbl.t; (* (var, low, high) -> node *)
+  and_cache : (int * int, node) Hashtbl.t;
+  xor_cache : (int * int, node) Hashtbl.t;
+  not_cache : (int, node) Hashtbl.t;
+}
+
+let zero = 0
+let one = 1
+
+let create ?(max_nodes = 1_000_000) ~num_vars () =
+  if num_vars < 0 then invalid_arg "Manager.create: negative variable count";
+  let t =
+    {
+      num_vars;
+      max_nodes;
+      vars = Veci.create ();
+      lows = Veci.create ();
+      highs = Veci.create ();
+      unique = Hashtbl.create 4096;
+      and_cache = Hashtbl.create 4096;
+      xor_cache = Hashtbl.create 4096;
+      not_cache = Hashtbl.create 1024;
+    }
+  in
+  (* terminals 0 and 1 *)
+  Veci.push t.vars (-1);
+  Veci.push t.lows 0;
+  Veci.push t.highs 0;
+  Veci.push t.vars (-1);
+  Veci.push t.lows 1;
+  Veci.push t.highs 1;
+  t
+
+let num_vars t = t.num_vars
+let size t = Veci.size t.vars
+let var_of t n = Veci.get t.vars n
+let low t n = Veci.get t.lows n
+let high t n = Veci.get t.highs n
+let is_terminal n = n < 2
+
+(* Level of a node for the ordering: terminals sink to the bottom. *)
+let level t n = if is_terminal n then max_int else var_of t n
+
+let mk t v lo hi =
+  if lo = hi then lo
+  else
+    match Hashtbl.find_opt t.unique (v, lo, hi) with
+    | Some n -> n
+    | None ->
+      if size t >= t.max_nodes then raise Node_limit;
+      let n = size t in
+      Veci.push t.vars v;
+      Veci.push t.lows lo;
+      Veci.push t.highs hi;
+      Hashtbl.add t.unique (v, lo, hi) n;
+      n
+
+let var t i =
+  if i < 0 || i >= t.num_vars then invalid_arg "Manager.var: out of range";
+  mk t i zero one
+
+let rec not_ t n =
+  if n = zero then one
+  else if n = one then zero
+  else
+    match Hashtbl.find_opt t.not_cache n with
+    | Some r -> r
+    | None ->
+      let r = mk t (var_of t n) (not_ t (low t n)) (not_ t (high t n)) in
+      Hashtbl.add t.not_cache n r;
+      r
+
+(* Shannon cofactor decomposition for binary operations. *)
+let cofactors t n v =
+  if is_terminal n || var_of t n <> v then (n, n) else (low t n, high t n)
+
+let rec and_ t a b =
+  if a = zero || b = zero then zero
+  else if a = one then b
+  else if b = one then a
+  else if a = b then a
+  else
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.and_cache key with
+    | Some r -> r
+    | None ->
+      let v = min (level t a) (level t b) in
+      let a0, a1 = cofactors t a v and b0, b1 = cofactors t b v in
+      let r = mk t v (and_ t a0 b0) (and_ t a1 b1) in
+      Hashtbl.add t.and_cache key r;
+      r
+
+let rec xor_ t a b =
+  if a = b then zero
+  else if a = zero then b
+  else if b = zero then a
+  else if a = one then not_ t b
+  else if b = one then not_ t a
+  else
+    let key = if a < b then (a, b) else (b, a) in
+    match Hashtbl.find_opt t.xor_cache key with
+    | Some r -> r
+    | None ->
+      let v = min (level t a) (level t b) in
+      let a0, a1 = cofactors t a v and b0, b1 = cofactors t b v in
+      let r = mk t v (xor_ t a0 b0) (xor_ t a1 b1) in
+      Hashtbl.add t.xor_cache key r;
+      r
+
+let or_ t a b = not_ t (and_ t (not_ t a) (not_ t b))
+
+let ite t c th el = or_ t (and_ t c th) (and_ t (not_ t c) el)
+
+let rec eval t n assignment =
+  if n = zero then false
+  else if n = one then true
+  else if assignment.(var_of t n) then eval t (high t n) assignment
+  else eval t (low t n) assignment
+
+let sat_count t n =
+  let cache = Hashtbl.create 256 in
+  (* fraction of assignments below a node, scaled at the end *)
+  let rec density m =
+    if m = zero then 0.0
+    else if m = one then 1.0
+    else
+      match Hashtbl.find_opt cache m with
+      | Some d -> d
+      | None ->
+        let d = 0.5 *. (density (low t m) +. density (high t m)) in
+        Hashtbl.add cache m d;
+        d
+  in
+  density n *. (2.0 ** float_of_int t.num_vars)
+
+let any_sat t n =
+  if n = zero then None
+  else begin
+    let assignment = Array.make t.num_vars false in
+    let rec descend m =
+      if m = one then ()
+      else if low t m <> zero then begin
+        assignment.(var_of t m) <- false;
+        descend (low t m)
+      end
+      else begin
+        assignment.(var_of t m) <- true;
+        descend (high t m)
+      end
+    in
+    descend n;
+    Some assignment
+  end
+
+let support t n =
+  let seen = Hashtbl.create 64 in
+  let vars = Hashtbl.create 16 in
+  let rec visit m =
+    if (not (is_terminal m)) && not (Hashtbl.mem seen m) then begin
+      Hashtbl.add seen m ();
+      Hashtbl.replace vars (var_of t m) ();
+      visit (low t m);
+      visit (high t m)
+    end
+  in
+  visit n;
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) vars [])
+
+let of_aig ?order t g =
+  if Aig.num_inputs g > t.num_vars then invalid_arg "Manager.of_aig: not enough variables";
+  let order =
+    match order with
+    | Some o ->
+      if Array.length o <> Aig.num_inputs g then invalid_arg "Manager.of_aig: bad order length";
+      o
+    | None -> Array.init (Aig.num_inputs g) Fun.id
+  in
+  let map = Array.make (Aig.num_nodes g) zero in
+  for i = 0 to Aig.num_inputs g - 1 do
+    map.(Aig.Lit.var (Aig.input g i)) <- var t order.(i)
+  done;
+  let node_of l =
+    let n = map.(Aig.Lit.var l) in
+    if Aig.Lit.is_neg l then not_ t n else n
+  in
+  Aig.iter_ands g (fun n ->
+      map.(n) <- and_ t (node_of (Aig.fanin0 g n)) (node_of (Aig.fanin1 g n)));
+  Array.map node_of (Aig.outputs g)

@@ -1,0 +1,66 @@
+(** Reduced ordered binary decision diagrams (ROBDDs).
+
+    A classic hash-consed BDD package: canonical by construction, so
+    two functions over the same manager are equal iff their node
+    identifiers are equal — which makes equivalence checking a pointer
+    comparison once the outputs are built.  Variables are ordered by
+    index (no dynamic reordering); a configurable node limit turns the
+    well-known exponential blow-ups (e.g. multiplier outputs) into a
+    clean {!Node_limit} exception instead of an OOM. *)
+
+type t
+(** A manager: node table, unique table and operation caches. *)
+
+type node = int
+(** Node identifier, valid within its manager. *)
+
+exception Node_limit
+
+(** [create ~num_vars ()] with an optional node cap (default 1,000,000).
+    Operations raise {!Node_limit} when the cap is exceeded. *)
+val create : ?max_nodes:int -> num_vars:int -> unit -> t
+
+val num_vars : t -> int
+
+(** Nodes allocated so far (including the two terminals). *)
+val size : t -> int
+
+val zero : node
+val one : node
+
+(** The function of variable [i].  @raise Invalid_argument if out of
+    range. *)
+val var : t -> int -> node
+
+val not_ : t -> node -> node
+val and_ : t -> node -> node -> node
+val or_ : t -> node -> node -> node
+val xor_ : t -> node -> node -> node
+val ite : t -> node -> node -> node -> node
+
+(** Structural accessors ([var_of] is [-1] for terminals). *)
+val var_of : t -> node -> int
+
+val low : t -> node -> node
+val high : t -> node -> node
+
+(** Evaluate under an assignment of all variables. *)
+val eval : t -> node -> bool array -> bool
+
+(** Number of satisfying assignments over all [num_vars] variables
+    (as a float: counts overflow 62 bits quickly). *)
+val sat_count : t -> node -> float
+
+(** Some satisfying assignment, or [None] for [zero].  Unconstrained
+    variables default to [false]. *)
+val any_sat : t -> node -> bool array option
+
+(** Variable indices the function depends on, ascending. *)
+val support : t -> node -> int list
+
+(** [of_aig t g] builds the BDD of every output of [g].  Input [i]
+    maps to BDD variable [order.(i)] ([order] defaults to the
+    identity; it must be injective into [0, num_vars)).
+    @raise Invalid_argument when variable counts disagree;
+    @raise Node_limit on blow-up. *)
+val of_aig : ?order:int array -> t -> Aig.t -> node array

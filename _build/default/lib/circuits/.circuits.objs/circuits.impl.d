@@ -1,0 +1,1 @@
+lib/circuits/circuits.ml: Adder Booth Counters Datapath Misc_logic Multiplier Prefix_adder Random_aig Rewrite Suite

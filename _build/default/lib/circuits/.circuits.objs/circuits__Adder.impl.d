@@ -1,0 +1,1 @@
+lib/circuits/adder.ml: Aig Array

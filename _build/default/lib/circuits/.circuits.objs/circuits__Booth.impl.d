@@ -1,0 +1,1 @@
+lib/circuits/booth.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/circuits/booth.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/counters.ml: Aig Array List

@@ -1,0 +1,1 @@
+lib/circuits/counters.mli: Aig

@@ -1,0 +1,1 @@
+lib/circuits/datapath.ml: Aig Array List

@@ -1,0 +1,1 @@
+lib/circuits/misc_logic.ml: Aig Array

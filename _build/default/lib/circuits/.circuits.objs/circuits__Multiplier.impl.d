@@ -1,0 +1,1 @@
+lib/circuits/multiplier.ml: Aig Array

@@ -1,0 +1,1 @@
+lib/circuits/prefix_adder.mli: Aig

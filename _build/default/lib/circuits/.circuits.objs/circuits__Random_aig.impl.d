@@ -1,0 +1,1 @@
+lib/circuits/random_aig.ml: Aig Array List Support

@@ -1,0 +1,1 @@
+lib/circuits/random_aig.mli: Aig Support

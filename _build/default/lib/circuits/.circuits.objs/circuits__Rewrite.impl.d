@@ -1,0 +1,1 @@
+lib/circuits/rewrite.ml: Aig Array List Support

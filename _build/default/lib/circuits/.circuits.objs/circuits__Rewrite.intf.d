@@ -1,0 +1,1 @@
+lib/circuits/rewrite.mli: Aig Support

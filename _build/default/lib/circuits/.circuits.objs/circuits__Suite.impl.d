@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Adder Aig Array Booth Datapath List Misc_logic Multiplier Prefix_adder Random_aig Rewrite Support

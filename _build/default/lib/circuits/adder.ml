@@ -1,0 +1,86 @@
+module Lit = Aig.Lit
+
+let inputs g n =
+  let a = Array.init n (Aig.input g) in
+  let b = Array.init n (fun i -> Aig.input g (n + i)) in
+  (a, b)
+
+let full_adder g a b cin =
+  let axb = Aig.xor_ g a b in
+  let sum = Aig.xor_ g axb cin in
+  let carry = Aig.or_ g (Aig.and_ g a b) (Aig.and_ g axb cin) in
+  (sum, carry)
+
+let ripple_carry n =
+  if n <= 0 then invalid_arg "Adder.ripple_carry: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a, b = inputs g n in
+  let carry = ref Lit.false_ in
+  for i = 0 to n - 1 do
+    let sum, cout = full_adder g a.(i) b.(i) !carry in
+    Aig.add_output g sum;
+    carry := cout
+  done;
+  Aig.add_output g !carry;
+  g
+
+let carry_lookahead n =
+  if n <= 0 then invalid_arg "Adder.carry_lookahead: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a, b = inputs g n in
+  let gen = Array.init n (fun i -> Aig.and_ g a.(i) b.(i)) in
+  let prop = Array.init n (fun i -> Aig.xor_ g a.(i) b.(i)) in
+  (* carry.(i) = carry INTO bit i:
+     c0 = 0; c(i+1) = g(i) OR (p(i) AND c(i)) expanded into a flat sum
+     of products g(j) AND p(j+1) AND ... AND p(i). *)
+  let carry = Array.make (n + 1) Lit.false_ in
+  for i = 0 to n - 1 do
+    let terms = ref [] in
+    for j = 0 to i do
+      let term = ref gen.(j) in
+      for k = j + 1 to i do
+        term := Aig.and_ g !term prop.(k)
+      done;
+      terms := !term :: !terms
+    done;
+    carry.(i + 1) <- Aig.or_list g !terms
+  done;
+  for i = 0 to n - 1 do
+    Aig.add_output g (Aig.xor_ g prop.(i) carry.(i))
+  done;
+  Aig.add_output g carry.(n);
+  g
+
+let carry_select ?(block = 4) n =
+  if n <= 0 then invalid_arg "Adder.carry_select: width must be positive";
+  if block <= 0 then invalid_arg "Adder.carry_select: block must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a, b = inputs g n in
+  (* Each block is computed twice (carry-in 0 and 1) with ripple
+     chains; a mux picks the live version. *)
+  let sums = Array.make n Lit.false_ in
+  let carry = ref Lit.false_ in
+  let i = ref 0 in
+  while !i < n do
+    let len = min block (n - !i) in
+    let run cin =
+      let c = ref cin in
+      let out = Array.make len Lit.false_ in
+      for k = 0 to len - 1 do
+        let sum, cout = full_adder g a.(!i + k) b.(!i + k) !c in
+        out.(k) <- sum;
+        c := cout
+      done;
+      (out, !c)
+    in
+    let out0, c0 = run Lit.false_ in
+    let out1, c1 = run Lit.true_ in
+    for k = 0 to len - 1 do
+      sums.(!i + k) <- Aig.mux g ~sel:!carry ~t:out1.(k) ~e:out0.(k)
+    done;
+    carry := Aig.mux g ~sel:!carry ~t:c1 ~e:c0;
+    i := !i + len
+  done;
+  Array.iter (Aig.add_output g) sums;
+  Aig.add_output g !carry;
+  g

@@ -1,0 +1,17 @@
+(** Adder generators.
+
+    All variants share one interface: inputs [a0..a(n-1) b0..b(n-1)]
+    (LSB first), outputs [s0..s(n-1) cout].  Different carry structures
+    give structurally different, functionally identical circuits — the
+    canonical equivalence-checking pairs. *)
+
+(** Carry chained bit by bit. *)
+val ripple_carry : int -> Aig.t
+
+(** Carries computed from generate/propagate prefixes (flat lookahead:
+    carry [i] is an OR of [i+1] product terms). *)
+val carry_lookahead : int -> Aig.t
+
+(** Blocks of [block] bits computed for both carry-in values and
+    selected (default block = 4). *)
+val carry_select : ?block:int -> int -> Aig.t

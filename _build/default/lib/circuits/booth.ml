@@ -1,0 +1,52 @@
+module Lit = Aig.Lit
+
+(* W-bit two's-complement helpers (modular arithmetic). *)
+let add_vec g x y cin =
+  let w = Array.length x in
+  let out = Array.make w Lit.false_ in
+  let carry = ref cin in
+  for j = 0 to w - 1 do
+    let xy = Aig.xor_ g x.(j) y.(j) in
+    out.(j) <- Aig.xor_ g xy !carry;
+    carry := Aig.or_ g (Aig.and_ g x.(j) y.(j)) (Aig.and_ g xy !carry)
+  done;
+  out
+
+let radix4 n =
+  if n <= 0 then invalid_arg "Booth.radix4: width must be positive";
+  let w = 2 * n in
+  let g = Aig.create ~num_inputs:w in
+  let a_bit j = if j < n then Aig.input g j else Lit.false_ in
+  let b_bit j = if j >= 0 && j < n then Aig.input g (n + j) else Lit.false_ in
+  let acc = ref (Array.make w Lit.false_) in
+  (* Enough radix-4 digits to consume all of b's bits. *)
+  let digits = (n / 2) + 1 in
+  for i = 0 to digits - 1 do
+    let x1 = b_bit ((2 * i) + 1) and x0 = b_bit (2 * i) and xm = b_bit ((2 * i) - 1) in
+    (* digit in {-2,-1,0,1,2}: |digit|=1 when x0 <> xm; |digit|=2 when
+       x0 = xm and x1 <> x0; sign = x1 (digit 0 encodes as -0). *)
+    let sel1 = Aig.xor_ g x0 xm in
+    let sel2 = Aig.and_ g (Aig.xnor_ g x0 xm) (Aig.xor_ g x1 x0) in
+    let neg = x1 in
+    (* Partial product before sign, already shifted by 2i:
+       bit j is a(j-2i) under sel1, a(j-2i-1) under sel2. *)
+    let base =
+      Array.init w (fun j ->
+          let single = if j - (2 * i) >= 0 then Aig.and_ g sel1 (a_bit (j - (2 * i))) else Lit.false_ in
+          let dbl =
+            if j - (2 * i) - 1 >= 0 then Aig.and_ g sel2 (a_bit (j - (2 * i) - 1)) else Lit.false_
+          in
+          Aig.or_ g single dbl)
+    in
+    (* Apply the sign: xor with neg everywhere, +neg at bit 2i (bits
+       below the shift are zero, so conditioning the complement on
+       positions >= 2i keeps the value correct: ~0...0 contributes the
+       all-ones prefix which the +1 at 2i turns into the two's
+       complement). *)
+    let signed = Array.mapi (fun j l -> if j >= 2 * i then Aig.xor_ g l neg else l) base in
+    let plus_one = Array.init w (fun j -> if j = 2 * i then neg else Lit.false_) in
+    acc := add_vec g !acc signed Lit.false_;
+    acc := add_vec g !acc plus_one Lit.false_
+  done;
+  Array.iter (Aig.add_output g) !acc;
+  g

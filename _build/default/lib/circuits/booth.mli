@@ -1,0 +1,9 @@
+(** Radix-4 Booth multiplier (unsigned operands).
+
+    Interface matches {!Multiplier}: inputs [a0..a(n-1) b0..b(n-1)],
+    outputs the [2n]-bit product.  Booth recoding halves the number of
+    partial products relative to the array multiplier and produces a
+    very different internal structure — the hardest of the built-in
+    equivalence pairs. *)
+
+val radix4 : int -> Aig.t

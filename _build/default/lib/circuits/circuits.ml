@@ -1,0 +1,13 @@
+(** Library interface: benchmark circuit generators, function-
+    preserving rewrites and the named suite. *)
+
+module Adder = Adder
+module Multiplier = Multiplier
+module Prefix_adder = Prefix_adder
+module Booth = Booth
+module Datapath = Datapath
+module Misc_logic = Misc_logic
+module Counters = Counters
+module Random_aig = Random_aig
+module Rewrite = Rewrite
+module Suite = Suite

@@ -1,0 +1,71 @@
+module Lit = Aig.Lit
+
+(* state + enable (ripple increment); returns next-state literals *)
+let increment g state enable =
+  let carry = ref enable in
+  Array.map
+    (fun bit ->
+      let next = Aig.xor_ g bit !carry in
+      carry := Aig.and_ g bit !carry;
+      next)
+    state
+
+let bin_to_gray g state =
+  Array.mapi
+    (fun i bit -> if i = Array.length state - 1 then bit else Aig.xor_ g bit state.(i + 1))
+    state
+
+let gray_to_bin g state =
+  let n = Array.length state in
+  let binary = Array.make n Lit.false_ in
+  let acc = ref Lit.false_ in
+  for i = n - 1 downto 0 do
+    acc := Aig.xor_ g !acc state.(i);
+    binary.(i) <- !acc
+  done;
+  binary
+
+let with_frame width build =
+  if width <= 0 then invalid_arg "Counters: width must be positive";
+  let g = Aig.create ~num_inputs:(1 + width) in
+  let enable = Aig.input g 0 in
+  let state = Array.init width (fun i -> Aig.input g (1 + i)) in
+  let outputs, next = build g enable state in
+  Array.iter (Aig.add_output g) outputs;
+  Array.iter (Aig.add_output g) next;
+  Aig.Seq.create g ~num_pis:1 ~num_latches:width
+
+let binary_counter width =
+  with_frame width (fun g enable state ->
+      let next = increment g state enable in
+      (state, next))
+
+let gray_output_binary_counter width =
+  with_frame width (fun g enable state ->
+      let next = increment g state enable in
+      (bin_to_gray g state, next))
+
+let gray_state_counter width =
+  with_frame width (fun g enable state ->
+      let binary = gray_to_bin g state in
+      let next_binary = increment g binary enable in
+      (state, bin_to_gray g next_binary))
+
+let lfsr ~taps width =
+  if width <= 0 then invalid_arg "Counters.lfsr: width must be positive";
+  let g = Aig.create ~num_inputs:width in
+  let state = Array.init width (Aig.input g) in
+  (* feedback = XOR of tapped bits, XOR NOR(state) to escape all-zero *)
+  let tapped = ref [] in
+  for i = 0 to width - 1 do
+    if (taps lsr i) land 1 = 1 then tapped := state.(i) :: !tapped
+  done;
+  let feedback =
+    List.fold_left (Aig.xor_ g) Lit.false_ !tapped
+  in
+  let zero = Lit.neg (Aig.or_list g (Array.to_list state)) in
+  let feedback = Aig.xor_ g feedback zero in
+  let next = Array.init width (fun i -> if i = 0 then feedback else state.(i - 1)) in
+  Array.iter (Aig.add_output g) state;
+  Array.iter (Aig.add_output g) next;
+  Aig.Seq.create g ~num_pis:0 ~num_latches:width

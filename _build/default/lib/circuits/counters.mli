@@ -1,0 +1,24 @@
+(** Sequential benchmark generators (transition structures for
+    {!Aig.Seq}).
+
+    The classic bounded-equivalence pair: a binary counter whose
+    outputs are Gray-encoded combinationally, versus a counter that
+    {e stores} the Gray code and increments through conversion.  Same
+    observable behaviour from reset, entirely different registers. *)
+
+(** Binary up-counter with enable: 1 PI (enable), [width] latches,
+    outputs the Gray encoding of the count. *)
+val gray_output_binary_counter : int -> Aig.Seq.t
+
+(** Gray-coded counter: 1 PI (enable), [width] latches holding the
+    Gray code itself; next state converts to binary, increments, and
+    converts back; outputs the stored code. *)
+val gray_state_counter : int -> Aig.Seq.t
+
+(** Plain binary counter with enable, outputs the count. *)
+val binary_counter : int -> Aig.Seq.t
+
+(** Fibonacci LFSR over [width] bits with taps at the positions set in
+    [taps]; no PIs, outputs the state.  The all-zero reset state is
+    made self-escaping by injecting the NOR of the state. *)
+val lfsr : taps:int -> int -> Aig.Seq.t

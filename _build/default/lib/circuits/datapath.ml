@@ -1,0 +1,95 @@
+module Lit = Aig.Lit
+
+let operand_inputs g n =
+  let a = Array.init n (Aig.input g) in
+  let b = Array.init n (fun i -> Aig.input g (n + i)) in
+  (a, b)
+
+let equality ?(tree = true) n =
+  if n <= 0 then invalid_arg "Datapath.equality: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a, b = operand_inputs g n in
+  let eqs = List.init n (fun i -> Aig.xnor_ g a.(i) b.(i)) in
+  let out =
+    if tree then Aig.and_list g eqs
+    else List.fold_left (Aig.and_ g) Lit.true_ eqs
+  in
+  Aig.add_output g out;
+  g
+
+let less_than n =
+  if n <= 0 then invalid_arg "Datapath.less_than: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a, b = operand_inputs g n in
+  (* borrow chain from LSB: lt(i) = (~a(i) & b(i)) | (a(i)=b(i)) & lt(i-1) *)
+  let lt = ref Lit.false_ in
+  for i = 0 to n - 1 do
+    let strictly = Aig.and_ g (Lit.neg a.(i)) b.(i) in
+    let equal = Aig.xnor_ g a.(i) b.(i) in
+    lt := Aig.or_ g strictly (Aig.and_ g equal !lt)
+  done;
+  Aig.add_output g !lt;
+  g
+
+let parity ?(tree = true) n =
+  if n <= 0 then invalid_arg "Datapath.parity: width must be positive";
+  let g = Aig.create ~num_inputs:n in
+  let bits = List.init n (Aig.input g) in
+  let out =
+    if tree then
+      let rec reduce = function
+        | [] -> Lit.false_
+        | [ x ] -> x
+        | xs ->
+          let rec pair = function
+            | [] -> []
+            | [ x ] -> [ x ]
+            | x :: y :: rest -> Aig.xor_ g x y :: pair rest
+          in
+          reduce (pair xs)
+      in
+      reduce bits
+    else List.fold_left (Aig.xor_ g) Lit.false_ bits
+  in
+  Aig.add_output g out;
+  g
+
+let alu n =
+  if n <= 0 then invalid_arg "Datapath.alu: width must be positive";
+  let g = Aig.create ~num_inputs:(2 + (2 * n)) in
+  let op1 = Aig.input g 0 and op0 = Aig.input g 1 in
+  let a = Array.init n (fun i -> Aig.input g (2 + i)) in
+  let b = Array.init n (fun i -> Aig.input g (2 + n + i)) in
+  let carry = ref Lit.false_ in
+  for i = 0 to n - 1 do
+    let and_r = Aig.and_ g a.(i) b.(i) in
+    let or_r = Aig.or_ g a.(i) b.(i) in
+    let xor_r = Aig.xor_ g a.(i) b.(i) in
+    let add_r = Aig.xor_ g xor_r !carry in
+    carry := Aig.or_ g and_r (Aig.and_ g xor_r !carry);
+    (* op: 00 -> AND, 01 -> OR, 10 -> XOR, 11 -> ADD *)
+    let low = Aig.mux g ~sel:op0 ~t:or_r ~e:and_r in
+    let high = Aig.mux g ~sel:op0 ~t:add_r ~e:xor_r in
+    Aig.add_output g (Aig.mux g ~sel:op1 ~t:high ~e:low)
+  done;
+  g
+
+let mux_tree k =
+  if k <= 0 then invalid_arg "Datapath.mux_tree: need at least one select bit";
+  let data_count = 1 lsl k in
+  let g = Aig.create ~num_inputs:(k + data_count) in
+  let sel = Array.init k (Aig.input g) in
+  let data = Array.init data_count (fun i -> Aig.input g (k + i)) in
+  let rec build level lits =
+    match lits with
+    | [ out ] -> out
+    | lits ->
+      let rec pair = function
+        | [] -> []
+        | [ _ ] -> invalid_arg "Datapath.mux_tree: internal odd level"
+        | e :: t :: rest -> Aig.mux g ~sel:sel.(level) ~t ~e :: pair rest
+      in
+      build (level + 1) (pair lits)
+  in
+  Aig.add_output g (build 0 (Array.to_list data));
+  g

@@ -1,0 +1,22 @@
+(** Miscellaneous datapath generators used by the benchmark suite. *)
+
+(** Equality comparator: inputs [a0..a(n-1) b0..b(n-1)], one output
+    [a = b].  [tree] picks a balanced or linear AND structure. *)
+val equality : ?tree:bool -> int -> Aig.t
+
+(** Unsigned less-than comparator: output [a < b], computed by a
+    borrow-style chain. *)
+val less_than : int -> Aig.t
+
+(** Parity (XOR reduction) of [n] inputs; [tree] picks balanced or
+    linear XOR structure. *)
+val parity : ?tree:bool -> int -> Aig.t
+
+(** A small ALU slice: inputs [op1 op0 a0.. b0..]; two select bits
+    choose among AND, OR, XOR and ADD (carry dropped) over [n]-bit
+    operands; outputs the [n]-bit result. *)
+val alu : int -> Aig.t
+
+(** Mux tree selecting one of [2^k] data inputs; inputs are
+    [sel0..sel(k-1)] then the [2^k] data bits; one output. *)
+val mux_tree : int -> Aig.t

@@ -1,0 +1,77 @@
+module Lit = Aig.Lit
+
+let barrel_shifter k =
+  if k <= 0 then invalid_arg "Misc_logic.barrel_shifter: need at least one stage";
+  let width = 1 lsl k in
+  let g = Aig.create ~num_inputs:(k + width) in
+  let amount = Array.init k (Aig.input g) in
+  let word = ref (Array.init width (fun i -> Aig.input g (k + i))) in
+  for stage = 0 to k - 1 do
+    let shift = 1 lsl stage in
+    let current = !word in
+    word :=
+      Array.init width (fun i ->
+          let shifted = if i >= shift then current.(i - shift) else Lit.false_ in
+          Aig.mux g ~sel:amount.(stage) ~t:shifted ~e:current.(i))
+  done;
+  Array.iter (Aig.add_output g) !word;
+  g
+
+let priority_encoder n =
+  if n <= 0 then invalid_arg "Misc_logic.priority_encoder: need requests";
+  let bits =
+    let rec log2_ceil acc v = if 1 lsl acc >= v then acc else log2_ceil (acc + 1) v in
+    max 1 (log2_ceil 0 n)
+  in
+  let g = Aig.create ~num_inputs:n in
+  let req = Array.init n (Aig.input g) in
+  (* grant(i) = req(i) AND none of req(0..i-1) *)
+  let none_before = ref Lit.true_ in
+  let grants =
+    Array.init n (fun i ->
+        let grant = Aig.and_ g req.(i) !none_before in
+        none_before := Aig.and_ g !none_before (Lit.neg req.(i));
+        grant)
+  in
+  for b = 0 to bits - 1 do
+    let terms = ref [] in
+    for i = 0 to n - 1 do
+      if (i lsr b) land 1 = 1 then terms := grants.(i) :: !terms
+    done;
+    Aig.add_output g (Aig.or_list g !terms)
+  done;
+  Aig.add_output g (Lit.neg !none_before);
+  g
+
+let binary_to_gray n =
+  if n <= 0 then invalid_arg "Misc_logic.binary_to_gray: width must be positive";
+  let g = Aig.create ~num_inputs:n in
+  let b = Array.init n (Aig.input g) in
+  for i = 0 to n - 1 do
+    if i = n - 1 then Aig.add_output g b.(i) else Aig.add_output g (Aig.xor_ g b.(i) b.(i + 1))
+  done;
+  g
+
+let gray_to_binary n =
+  if n <= 0 then invalid_arg "Misc_logic.gray_to_binary: width must be positive";
+  let g = Aig.create ~num_inputs:n in
+  let gray = Array.init n (Aig.input g) in
+  (* binary(i) = XOR of gray(i..n-1), computed top down *)
+  let acc = ref Lit.false_ in
+  let binary = Array.make n Lit.false_ in
+  for i = n - 1 downto 0 do
+    acc := Aig.xor_ g !acc gray.(i);
+    binary.(i) <- !acc
+  done;
+  Array.iter (Aig.add_output g) binary;
+  g
+
+let majority3 n =
+  if n <= 0 then invalid_arg "Misc_logic.majority3: width must be positive";
+  let g = Aig.create ~num_inputs:(3 * n) in
+  for i = 0 to n - 1 do
+    let a = Aig.input g i and b = Aig.input g (n + i) and c = Aig.input g ((2 * n) + i) in
+    let maj = Aig.or_list g [ Aig.and_ g a b; Aig.and_ g a c; Aig.and_ g b c ] in
+    Aig.add_output g maj
+  done;
+  g

@@ -1,0 +1,20 @@
+(** Additional datapath/control generators for the benchmark suite. *)
+
+(** Logical barrel shifter (left): inputs are [k] shift-amount bits
+    followed by [2^k] data bits; outputs the shifted word (zeros shift
+    in).  [k] mux stages, one per shift-amount bit. *)
+val barrel_shifter : int -> Aig.t
+
+(** Priority encoder over [n] request lines (input 0 has priority):
+    outputs [ceil(log2 n)] index bits and a "valid" flag. *)
+val priority_encoder : int -> Aig.t
+
+(** Binary-to-Gray converter over [n] bits. *)
+val binary_to_gray : int -> Aig.t
+
+(** Gray-to-binary converter over [n] bits (prefix XOR chain). *)
+val gray_to_binary : int -> Aig.t
+
+(** Bitwise majority of three [n]-bit operands (inputs a, b, c
+    concatenated). *)
+val majority3 : int -> Aig.t

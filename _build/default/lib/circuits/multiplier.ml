@@ -1,0 +1,67 @@
+module Lit = Aig.Lit
+
+let partial_products g a b n =
+  Array.init n (fun i -> Array.init n (fun j -> Aig.and_ g a.(j) b.(i)))
+
+let full_adder g x y z =
+  let xy = Aig.xor_ g x y in
+  (Aig.xor_ g xy z, Aig.or_ g (Aig.and_ g x y) (Aig.and_ g xy z))
+
+let half_adder g x y = (Aig.xor_ g x y, Aig.and_ g x y)
+
+(* Column-wise carry-save reduction: every column's bits are compressed
+   with 3:2 and 2:2 counters until one bit remains, carries feeding the
+   next column. *)
+let array n =
+  if n <= 0 then invalid_arg "Multiplier.array: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a = Array.init n (Aig.input g) in
+  let b = Array.init n (fun i -> Aig.input g (n + i)) in
+  let pp = partial_products g a b n in
+  let columns = Array.make (2 * n) [] in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      columns.(i + j) <- pp.(i).(j) :: columns.(i + j)
+    done
+  done;
+  for c = 0 to (2 * n) - 1 do
+    let rec reduce = function
+      | [] -> Aig.add_output g Lit.false_
+      | [ bit ] -> Aig.add_output g bit
+      | [ x; y ] ->
+        let sum, carry = half_adder g x y in
+        if c + 1 < 2 * n then columns.(c + 1) <- carry :: columns.(c + 1);
+        reduce [ sum ]
+      | x :: y :: z :: rest ->
+        let sum, carry = full_adder g x y z in
+        if c + 1 < 2 * n then columns.(c + 1) <- carry :: columns.(c + 1);
+        reduce (sum :: rest)
+    in
+    reduce columns.(c)
+  done;
+  g
+
+let shift_add n =
+  if n <= 0 then invalid_arg "Multiplier.shift_add: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a = Array.init n (Aig.input g) in
+  let b = Array.init n (fun i -> Aig.input g (n + i)) in
+  let acc = Array.make (2 * n) Lit.false_ in
+  for i = 0 to n - 1 do
+    let carry = ref Lit.false_ in
+    for j = 0 to n - 1 do
+      let addend = Aig.and_ g a.(j) b.(i) in
+      let sum, cout = full_adder g acc.(i + j) addend !carry in
+      acc.(i + j) <- sum;
+      carry := cout
+    done;
+    let k = ref (i + n) in
+    while !carry <> Lit.false_ && !k < 2 * n do
+      let sum, cout = half_adder g acc.(!k) !carry in
+      acc.(!k) <- sum;
+      carry := cout;
+      incr k
+    done
+  done;
+  Array.iter (Aig.add_output g) acc;
+  g

@@ -1,0 +1,13 @@
+(** Unsigned multiplier generators.
+
+    Interface: inputs [a0..a(n-1) b0..b(n-1)] (LSB first), outputs the
+    [2n]-bit product.  The two variants build the same function with
+    different summation structures. *)
+
+(** Array multiplier: partial products summed row by row with ripple
+    carry-save rows. *)
+val array : int -> Aig.t
+
+(** Shift-and-add: accumulates [a << i] under [b_i] with a chain of
+    conditional ripple additions. *)
+val shift_add : int -> Aig.t

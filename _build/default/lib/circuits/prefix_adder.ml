@@ -1,0 +1,77 @@
+module Lit = Aig.Lit
+
+(* The carry-prefix semigroup: (g, p) o (g', p') = (g or (p and g'),
+   p and p'), where (g', p') is the less significant block. *)
+let combine g (gh, ph) (gl, pl) =
+  (Aig.or_ g gh (Aig.and_ g ph gl), Aig.and_ g ph pl)
+
+let build n prefix_network =
+  if n <= 0 then invalid_arg "Prefix_adder: width must be positive";
+  let g = Aig.create ~num_inputs:(2 * n) in
+  let a = Array.init n (Aig.input g) in
+  let b = Array.init n (fun i -> Aig.input g (n + i)) in
+  let gen = Array.init n (fun i -> Aig.and_ g a.(i) b.(i)) in
+  let prop = Array.init n (fun i -> Aig.xor_ g a.(i) b.(i)) in
+  (* gp.(i) will become the prefix over bits [0..i]. *)
+  let gp = Array.init n (fun i -> (gen.(i), prop.(i))) in
+  prefix_network g gp;
+  (* carry into bit i: c0 = 0, c(i) = G(i-1). *)
+  let carry i = if i = 0 then Lit.false_ else fst gp.(i - 1) in
+  for i = 0 to n - 1 do
+    Aig.add_output g (Aig.xor_ g prop.(i) (carry i))
+  done;
+  Aig.add_output g (carry n);
+  g
+
+let kogge_stone n =
+  build n (fun g gp ->
+      let n = Array.length gp in
+      let d = ref 1 in
+      while !d < n do
+        for i = n - 1 downto !d do
+          gp.(i) <- combine g gp.(i) gp.(i - !d)
+        done;
+        d := 2 * !d
+      done)
+
+let brent_kung n =
+  build n (fun g gp ->
+      let n = Array.length gp in
+      (* up-sweep *)
+      let d = ref 1 in
+      while !d < n do
+        let i = ref ((2 * !d) - 1) in
+        while !i < n do
+          gp.(!i) <- combine g gp.(!i) gp.(!i - !d);
+          i := !i + (2 * !d)
+        done;
+        d := 2 * !d
+      done;
+      (* down-sweep *)
+      d := !d / 2;
+      while !d >= 1 do
+        let i = ref ((3 * !d) - 1) in
+        while !i < n do
+          gp.(!i) <- combine g gp.(!i) gp.(!i - !d);
+          i := !i + (2 * !d)
+        done;
+        d := !d / 2
+      done)
+
+let sklansky n =
+  build n (fun g gp ->
+      let n = Array.length gp in
+      let d = ref 1 in
+      while !d < n do
+        (* For each block of size 2d, combine the upper-half entries
+           with the top of the lower half. *)
+        let base = ref 0 in
+        while !base + !d < n do
+          let src = !base + !d - 1 in
+          for i = !base + !d to min (n - 1) (!base + (2 * !d) - 1) do
+            gp.(i) <- combine g gp.(i) gp.(src)
+          done;
+          base := !base + (2 * !d)
+        done;
+        d := 2 * !d
+      done)

@@ -1,0 +1,16 @@
+(** Parallel-prefix adders.
+
+    All three share the ripple adder's interface
+    ([a0..a(n-1) b0..b(n-1)] → [s0..s(n-1) cout]) but compute carries
+    with different prefix networks over the (generate, propagate)
+    semigroup — the classic high-performance adder structures, and
+    classic equivalence-checking counterparts to the ripple chain. *)
+
+(** Kogge–Stone: minimal depth, maximal wiring (span-doubling). *)
+val kogge_stone : int -> Aig.t
+
+(** Brent–Kung: ~2 log n depth, sparse tree (up-sweep / down-sweep). *)
+val brent_kung : int -> Aig.t
+
+(** Sklansky: minimal depth divide-and-conquer with high fanout. *)
+val sklansky : int -> Aig.t

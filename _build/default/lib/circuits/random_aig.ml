@@ -1,0 +1,24 @@
+module Lit = Aig.Lit
+module Rng = Support.Rng
+
+let generate rng ~num_inputs ~num_ands ~num_outputs =
+  if num_inputs <= 0 then invalid_arg "Random_aig.generate: need inputs";
+  if num_outputs <= 0 then invalid_arg "Random_aig.generate: need outputs";
+  let g = Aig.create ~num_inputs in
+  let pool = ref (List.init num_inputs (Aig.input g)) in
+  let pool_arr () = Array.of_list !pool in
+  for _ = 1 to num_ands do
+    let arr = pool_arr () in
+    let pick () =
+      let l = arr.(Rng.int rng (Array.length arr)) in
+      Lit.apply_sign l ~neg:(Rng.bool rng)
+    in
+    let l = Aig.and_ g (pick ()) (pick ()) in
+    if not (Lit.is_const l) then pool := l :: !pool
+  done;
+  let arr = pool_arr () in
+  for _ = 1 to num_outputs do
+    let l = arr.(Rng.int rng (Array.length arr)) in
+    Aig.add_output g (Lit.apply_sign l ~neg:(Rng.bool rng))
+  done;
+  g

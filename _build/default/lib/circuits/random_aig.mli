@@ -1,0 +1,10 @@
+(** Random AIG generation (deterministic via {!Support.Rng}).
+
+    Used for fuzz-style property tests and for size-controlled
+    benchmark instances without arithmetic structure. *)
+
+(** [generate rng ~num_inputs ~num_ands ~num_outputs] draws each AND's
+    fanins uniformly from already-built nodes with random complements,
+    and outputs from the last nodes.  Structural hashing may fold some
+    draws, so the result has at most [num_ands] ANDs. *)
+val generate : Support.Rng.t -> num_inputs:int -> num_ands:int -> num_outputs:int -> Aig.t

@@ -1,0 +1,92 @@
+module Lit = Aig.Lit
+module Rng = Support.Rng
+
+(* Rebuild [g] into [fresh], mapping each AND node through [template],
+   which receives the rebuilt fanins and the rebuilt node pool. *)
+let rebuild g template =
+  let fresh = Aig.create ~num_inputs:(Aig.num_inputs g) in
+  let map = Array.make (Aig.num_nodes g) Lit.false_ in
+  for i = 0 to Aig.num_inputs g - 1 do
+    map.(1 + i) <- Aig.input fresh i
+  done;
+  let map_lit l = Lit.apply_sign map.(Lit.var l) ~neg:(Lit.is_neg l) in
+  Aig.iter_ands g (fun n ->
+      let x = map_lit (Aig.fanin0 g n) and y = map_lit (Aig.fanin1 g n) in
+      map.(n) <- template fresh n x y);
+  Array.iter (fun l -> Aig.add_output fresh (map_lit l)) (Aig.outputs g);
+  fresh
+
+let restructure ?(intensity = 0.5) rng g =
+  if intensity < 0.0 || intensity > 1.0 then
+    invalid_arg "Rewrite.restructure: intensity must be within [0, 1]";
+  (* Pool of already-rebuilt literals for the consensus template. *)
+  let pool = ref [] in
+  let pick_pool fresh =
+    match !pool with
+    | [] -> Aig.input fresh (Rng.int rng (Aig.num_inputs fresh))
+    | pool ->
+      let arr = Array.of_list pool in
+      arr.(Rng.int rng (Array.length arr))
+  in
+  let template fresh _n x y =
+    let result =
+      if Rng.float rng >= intensity then Aig.and_ fresh x y
+      else
+        match Rng.int rng 4 with
+        | 0 ->
+          (* (x∧y) ∧ (x∨y) *)
+          Aig.and_ fresh (Aig.and_ fresh x y) (Aig.or_ fresh x y)
+        | 1 ->
+          (* x ∧ ¬(x∧¬y) *)
+          Aig.and_ fresh x (Lit.neg (Aig.and_ fresh x (Lit.neg y)))
+        | 2 ->
+          (* y ∧ ¬(y∧¬x) *)
+          Aig.and_ fresh y (Lit.neg (Aig.and_ fresh y (Lit.neg x)))
+        | _ ->
+          (* absorption: p ∨ (p∧z) = p *)
+          let p = Aig.and_ fresh x y in
+          let z = pick_pool fresh in
+          Aig.or_ fresh p (Aig.and_ fresh p z)
+    in
+    if not (Lit.is_const result) then pool := result :: !pool;
+    result
+  in
+  rebuild g template
+
+let rebalance mode g =
+  let fresh = Aig.create ~num_inputs:(Aig.num_inputs g) in
+  let map = Array.make (Aig.num_nodes g) Lit.false_ in
+  for i = 0 to Aig.num_inputs g - 1 do
+    map.(1 + i) <- Aig.input fresh i
+  done;
+  let map_lit l = Lit.apply_sign map.(Lit.var l) ~neg:(Lit.is_neg l) in
+  (* Leaves of the maximal AND tree rooted at node [n]: follow
+     non-complemented fanin edges into AND nodes. *)
+  let rec leaves l acc =
+    if Lit.is_neg l || not (Aig.is_and_node g (Lit.var l)) then map_lit l :: acc
+    else
+      let n = Lit.var l in
+      leaves (Aig.fanin0 g n) (leaves (Aig.fanin1 g n) acc)
+  in
+  Aig.iter_ands g (fun n ->
+      let lits = leaves (Aig.fanin0 g n) (leaves (Aig.fanin1 g n) []) in
+      map.(n) <-
+        (match mode with
+        | `Balanced -> Aig.and_list fresh lits
+        | `Left -> (
+          match lits with
+          | [] -> Lit.true_
+          | first :: rest -> List.fold_left (Aig.and_ fresh) first rest)));
+  Array.iter (fun l -> Aig.add_output fresh (map_lit l)) (Aig.outputs g);
+  fresh
+
+let double_negate g =
+  let counter = ref 0 in
+  let template fresh _n x y =
+    incr counter;
+    if !counter mod 3 = 0 then
+      let p = Aig.and_ fresh x y in
+      Aig.and_ fresh p (Aig.or_ fresh p (Lit.neg x))
+    else Aig.and_ fresh x y
+  in
+  rebuild g template

@@ -1,0 +1,27 @@
+(** Function-preserving structural rewrites.
+
+    Equivalence checking is only interesting on pairs of circuits that
+    compute the same function with different structure.  These
+    transforms manufacture such pairs: each rewrites a graph into a
+    functionally identical one whose AND structure differs node by
+    node, which is exactly what a synthesis tool's optimizations do to
+    a golden netlist. *)
+
+(** [restructure rng ~intensity g] rebuilds [g], replacing each AND
+    with probability [intensity] (0..1, default 0.5) by a random
+    equivalent template:
+    [x∧y = (x∧y)∧(x∨y) = x∧¬(x∧¬y) = (x∧y)∨((x∧y)∧z)].
+    The result has the same inputs/outputs and the same functions. *)
+val restructure : ?intensity:float -> Support.Rng.t -> Aig.t -> Aig.t
+
+(** Reassociate maximal AND trees.  [`Left] produces a linear chain,
+    [`Balanced] a balanced tree; both change structure without changing
+    functions. *)
+val rebalance : [ `Left | `Balanced ] -> Aig.t -> Aig.t
+
+(** [double_negate g] rewrites every AND via De Morgan templates that
+    survive structural hashing: [x∧y = ¬(¬x∨¬y)] is a no-op in an AIG,
+    so this instead interposes [x∧y = (x∧y)∧(x∧y ∨ ¬x)]-style padding
+    on a fixed fraction of nodes — a cheap deterministic variant of
+    {!restructure} used where no generator state is wanted. *)
+val double_negate : Aig.t -> Aig.t

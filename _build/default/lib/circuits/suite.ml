@@ -1,0 +1,89 @@
+type case = {
+  name : string;
+  golden : unit -> Aig.t;
+  revised : unit -> Aig.t;
+}
+
+let restructured ?(seed = 7) ?(intensity = 0.5) make () =
+  Rewrite.restructure ~intensity (Support.Rng.create seed) (make ())
+
+let case name golden revised = { name; golden; revised }
+
+let small =
+  [
+    case "add4-rc-cla" (fun () -> Adder.ripple_carry 4) (fun () -> Adder.carry_lookahead 4);
+    case "add8-rc-rewr" (fun () -> Adder.ripple_carry 8)
+      (restructured (fun () -> Adder.ripple_carry 8));
+    case "mul3-arr-sa" (fun () -> Multiplier.array 3) (fun () -> Multiplier.shift_add 3);
+    case "eq8-tree-lin" (fun () -> Datapath.equality ~tree:true 8)
+      (fun () -> Datapath.equality ~tree:false 8);
+    case "par16-tree-lin" (fun () -> Datapath.parity ~tree:true 16)
+      (fun () -> Datapath.parity ~tree:false 16);
+  ]
+
+let default =
+  small
+  @ [
+      case "add8-rc-cla" (fun () -> Adder.ripple_carry 8) (fun () -> Adder.carry_lookahead 8);
+      case "add16-rc-cla" (fun () -> Adder.ripple_carry 16) (fun () -> Adder.carry_lookahead 16);
+      case "add16-rc-csel" (fun () -> Adder.ripple_carry 16) (fun () -> Adder.carry_select 16);
+      case "add32-rc-rewr" (fun () -> Adder.ripple_carry 32)
+        (restructured (fun () -> Adder.ripple_carry 32));
+      case "mul4-arr-sa" (fun () -> Multiplier.array 4) (fun () -> Multiplier.shift_add 4);
+      case "mul5-arr-rewr" (fun () -> Multiplier.array 5)
+        (restructured (fun () -> Multiplier.array 5));
+      case "mul6-sa-rebal" (fun () -> Multiplier.shift_add 6)
+        (fun () -> Rewrite.rebalance `Balanced (Multiplier.shift_add 6));
+      case "alu8-rewr" (fun () -> Datapath.alu 8) (restructured (fun () -> Datapath.alu 8));
+      case "lt16-rewr" (fun () -> Datapath.less_than 16)
+        (restructured ~intensity:0.8 (fun () -> Datapath.less_than 16));
+      case "mux5-rewr" (fun () -> Datapath.mux_tree 5)
+        (restructured (fun () -> Datapath.mux_tree 5));
+      case "rand300-rewr"
+        (fun () ->
+          Random_aig.generate (Support.Rng.create 11) ~num_inputs:16 ~num_ands:300 ~num_outputs:8)
+        (restructured ~seed:13
+           (fun () ->
+             Random_aig.generate (Support.Rng.create 11) ~num_inputs:16 ~num_ands:300
+               ~num_outputs:8));
+      case "add16-ks-bk" (fun () -> Prefix_adder.kogge_stone 16)
+        (fun () -> Prefix_adder.brent_kung 16);
+      case "add24-rc-skl" (fun () -> Adder.ripple_carry 24) (fun () -> Prefix_adder.sklansky 24);
+      case "add32-ks-rc" (fun () -> Prefix_adder.kogge_stone 32) (fun () -> Adder.ripple_carry 32);
+      case "mul4-booth-arr" (fun () -> Booth.radix4 4) (fun () -> Multiplier.array 4);
+      case "mul5-booth-sa" (fun () -> Booth.radix4 5) (fun () -> Multiplier.shift_add 5);
+      case "bshift4-rewr" (fun () -> Misc_logic.barrel_shifter 4)
+        (restructured (fun () -> Misc_logic.barrel_shifter 4));
+      case "prio24-rewr" (fun () -> Misc_logic.priority_encoder 24)
+        (restructured ~intensity:0.7 (fun () -> Misc_logic.priority_encoder 24));
+      case "gray16-id"
+        (fun () ->
+          (* gray(binary(x)) vs identity: composes two converters *)
+          let g = Aig.create ~num_inputs:16 in
+          let inputs = Array.init 16 (Aig.input g) in
+          Array.iter (Aig.add_output g) inputs;
+          g)
+        (fun () ->
+          let to_gray = Misc_logic.binary_to_gray 16 in
+          let g = Aig.create ~num_inputs:16 in
+          let inputs = Array.init 16 (Aig.input g) in
+          let gray = Aig.append g to_gray ~inputs in
+          let back = Aig.append g (Misc_logic.gray_to_binary 16) ~inputs:gray in
+          Array.iter (Aig.add_output g) back;
+          g);
+      case "maj3x8-rewr" (fun () -> Misc_logic.majority3 8)
+        (restructured (fun () -> Misc_logic.majority3 8));
+    ]
+
+(* Cases that take seconds per engine: used only by the hard-instance
+   experiment (T2h), not by the per-suite sweeps. *)
+let hard =
+  [
+    case "mul6-booth-arr" (fun () -> Booth.radix4 6) (fun () -> Multiplier.array 6);
+    case "mul7-booth-rewr" (fun () -> Booth.radix4 7)
+      (restructured ~seed:3 (fun () -> Booth.radix4 7));
+  ]
+
+let find name = List.find_opt (fun c -> c.name = name) (default @ hard)
+let names cases = List.map (fun c -> c.name) cases
+let miter_of c = Aig.Miter.build (c.golden ()) (c.revised ())

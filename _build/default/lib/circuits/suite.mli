@@ -1,0 +1,28 @@
+(** The named benchmark suite driving tests, examples and the
+    experiment harness.  Each case is a pair of functionally equivalent
+    circuits with different structure (golden vs. revised), built
+    deterministically. *)
+
+type case = {
+  name : string;
+  golden : unit -> Aig.t;
+  revised : unit -> Aig.t;
+}
+
+(** The default suite used by the T1–T4 tables: adder pairs,
+    multiplier pairs, datapath pairs and rewritten random logic. *)
+val default : case list
+
+(** A smaller suite for quick runs and CI-style tests. *)
+val small : case list
+
+(** Hard instances (seconds per engine): Booth-vs-array multiplier
+    pairs where the sweeping engine decisively beats the monolithic
+    call.  Kept out of {!default} so per-suite sweeps stay fast. *)
+val hard : case list
+
+val find : string -> case option
+val names : case list -> string list
+
+(** Build the single-output miter of a case. *)
+val miter_of : case -> Aig.t

@@ -1,0 +1,1 @@
+lib/cnf/cnf.ml: Clause Dimacs Formula Tseitin

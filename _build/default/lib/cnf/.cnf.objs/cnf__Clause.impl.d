@@ -1,0 +1,1 @@
+lib/cnf/clause.ml: Aig Array Format List Seq Stdlib String

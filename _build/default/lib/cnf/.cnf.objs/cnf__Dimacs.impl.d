@@ -1,0 +1,1 @@
+lib/cnf/dimacs.ml: Aig Buffer Clause Formula Fun List Printf String

@@ -1,0 +1,87 @@
+module Lit = Aig.Lit
+
+type t = int array
+
+let empty = [||]
+let is_empty c = Array.length c = 0
+
+(* Sort, deduplicate, and reject tautologies.  Sorted literal order
+   puts the two polarities of a variable adjacently, so both checks are
+   a single pass. *)
+let normalize lits =
+  Array.sort compare lits;
+  let n = Array.length lits in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n lits.(0) in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      let l = lits.(i) in
+      let prev = out.(!k - 1) in
+      if l = prev then ()
+      else begin
+        if Lit.var l = Lit.var prev then
+          invalid_arg "Clause: tautology (both polarities of a variable)";
+        out.(!k) <- l;
+        incr k
+      end
+    done;
+    Array.sub out 0 !k
+  end
+
+let of_array lits = normalize (Array.copy lits)
+let of_list lits = normalize (Array.of_list lits)
+let singleton l = [| l |]
+
+let size = Array.length
+let lits c = Array.copy c
+let to_list = Array.to_list
+let iter = Array.iter
+let fold f acc c = Array.fold_left f acc c
+
+let mem l c =
+  (* Binary search in the sorted representation. *)
+  let rec loop lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if c.(mid) = l then true else if c.(mid) < l then loop (mid + 1) hi else loop lo mid
+  in
+  loop 0 (Array.length c)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let hash c = Array.fold_left (fun acc l -> (acc * 31) + l + 1) 17 c
+
+let subsumes c d = Array.for_all (fun l -> mem l d) c
+
+let resolve c d ~pivot =
+  let pos = Lit.of_var pivot and neg = Lit.neg (Lit.of_var pivot) in
+  if not (mem pos c) then invalid_arg "Clause.resolve: positive pivot not in first clause";
+  if not (mem neg d) then invalid_arg "Clause.resolve: negative pivot not in second clause";
+  let keep arr skip = Array.to_list (Array.of_seq (Seq.filter (fun l -> l <> skip) (Array.to_seq arr))) in
+  of_list (keep c pos @ keep d neg)
+
+let resolve_any ~c ~d =
+  let clashes =
+    Array.to_list c
+    |> List.filter_map (fun l -> if mem (Lit.neg l) d then Some (Lit.var l) else None)
+  in
+  match clashes with
+  | [ v ] -> if mem (Lit.of_var v) c then resolve c d ~pivot:v else resolve d c ~pivot:v
+  | [] -> invalid_arg "Clause.resolve_any: no clashing variable"
+  | _ -> invalid_arg "Clause.resolve_any: more than one clashing variable"
+
+let max_var c = Array.fold_left (fun acc l -> max acc (Lit.var l)) (-1) c
+
+let satisfied_by c assignment =
+  Array.exists (fun l -> assignment.(Lit.var l) <> Lit.is_neg l) c
+
+let pp fmt c =
+  Format.fprintf fmt "(";
+  Array.iteri (fun i l -> Format.fprintf fmt (if i = 0 then "%a" else " %a") Lit.pp l) c;
+  Format.fprintf fmt ")"
+
+let to_dimacs_string c =
+  String.concat " " (List.map (fun l -> string_of_int (Lit.to_dimacs l)) (to_list c) @ [ "0" ])

@@ -1,0 +1,8 @@
+(** Library interface: clauses, formulas, the Tseitin transform and
+    DIMACS I/O.  Clients write [Cnf.Clause.resolve], [Cnf.Formula.add],
+    [Cnf.Tseitin.miter_formula], [Cnf.Dimacs.to_string]. *)
+
+module Clause = Clause
+module Formula = Formula
+module Tseitin = Tseitin
+module Dimacs = Dimacs

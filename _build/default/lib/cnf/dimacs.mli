@@ -1,0 +1,11 @@
+(** DIMACS CNF reading and writing. *)
+
+exception Parse_error of string
+
+val to_string : Formula.t -> string
+val write_file : string -> Formula.t -> unit
+
+(** @raise Parse_error on malformed input. *)
+val of_string : string -> Formula.t
+
+val read_file : string -> Formula.t

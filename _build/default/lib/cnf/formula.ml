@@ -1,0 +1,75 @@
+type t = {
+  mutable clauses : Clause.t array;
+  mutable size : int;
+  mutable num_vars : int;
+  index : (Clause.t, unit) Hashtbl.t;
+}
+
+let create () =
+  { clauses = Array.make 16 Clause.empty; size = 0; num_vars = 0; index = Hashtbl.create 64 }
+
+let ensure_capacity f n =
+  if n > Array.length f.clauses then begin
+    let capacity = ref (Array.length f.clauses) in
+    while !capacity < n do
+      capacity := !capacity * 2
+    done;
+    let clauses = Array.make !capacity Clause.empty in
+    Array.blit f.clauses 0 clauses 0 f.size;
+    f.clauses <- clauses
+  end
+
+let add f c =
+  ensure_capacity f (f.size + 1);
+  f.clauses.(f.size) <- c;
+  f.size <- f.size + 1;
+  f.num_vars <- max f.num_vars (Clause.max_var c + 1);
+  if not (Hashtbl.mem f.index c) then Hashtbl.add f.index c ();
+  f.size - 1
+
+let add_list f lits = add f (Clause.of_list lits)
+
+let num_clauses f = f.size
+let num_vars f = f.num_vars
+let ensure_vars f n = f.num_vars <- max f.num_vars n
+
+let clause f i =
+  if i < 0 || i >= f.size then invalid_arg "Formula.clause: out of range";
+  f.clauses.(i)
+
+let iter fn f =
+  for i = 0 to f.size - 1 do
+    fn f.clauses.(i)
+  done
+
+let iteri fn f =
+  for i = 0 to f.size - 1 do
+    fn i f.clauses.(i)
+  done
+
+let fold fn acc f =
+  let acc = ref acc in
+  iter (fun c -> acc := fn !acc c) f;
+  !acc
+
+let to_list f = List.rev (fold (fun acc c -> c :: acc) [] f)
+
+let mem f c = Hashtbl.mem f.index c
+
+let satisfied_by f assignment =
+  let ok = ref true in
+  iter (fun c -> if not (Clause.satisfied_by c assignment) then ok := false) f;
+  !ok
+
+let copy f =
+  {
+    clauses = Array.copy f.clauses;
+    size = f.size;
+    num_vars = f.num_vars;
+    index = Hashtbl.copy f.index;
+  }
+
+let pp fmt f =
+  Format.fprintf fmt "@[<v>";
+  iter (fun c -> Format.fprintf fmt "%a@," Clause.pp c) f;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,37 @@
+(** CNF formulas: an ordered collection of clauses over variables
+    [0 .. num_vars - 1]. *)
+
+type t
+
+val create : unit -> t
+
+(** Append a clause; widens [num_vars] as needed.  Returns the clause's
+    index within the formula. *)
+val add : t -> Clause.t -> int
+
+val add_list : t -> Aig.Lit.t list -> int
+
+val num_clauses : t -> int
+
+(** One more than the largest variable mentioned (0 for the empty
+    formula); can be raised explicitly for formulas with unused
+    trailing variables. *)
+val num_vars : t -> int
+
+val ensure_vars : t -> int -> unit
+
+val clause : t -> int -> Clause.t
+val iter : (Clause.t -> unit) -> t -> unit
+val iteri : (int -> Clause.t -> unit) -> t -> unit
+val fold : ('a -> Clause.t -> 'a) -> 'a -> t -> 'a
+val to_list : t -> Clause.t list
+
+(** Membership test on the clause set (hashed; used by the proof
+    checker to validate leaves). *)
+val mem : t -> Clause.t -> bool
+
+(** Evaluate under a total assignment. *)
+val satisfied_by : t -> bool array -> bool
+
+val copy : t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/cec_core.ml: Cec Certify Simclass Sweep

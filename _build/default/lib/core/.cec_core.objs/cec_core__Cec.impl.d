@@ -1,0 +1,1 @@
+lib/core/cec.ml: Aig Array Cnf Proof Sat Sweep

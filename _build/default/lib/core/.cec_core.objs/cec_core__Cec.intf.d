@@ -1,0 +1,1 @@
+lib/core/cec.mli: Aig Cnf Proof Sweep

@@ -1,0 +1,1 @@
+lib/core/certify.ml: Aig Cec Cnf Format Printf Proof

@@ -1,0 +1,1 @@
+lib/core/simclass.ml: Aig Array Hashtbl Int64 List Option Support

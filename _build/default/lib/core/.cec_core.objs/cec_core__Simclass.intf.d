@@ -1,0 +1,1 @@
+lib/core/simclass.mli: Aig

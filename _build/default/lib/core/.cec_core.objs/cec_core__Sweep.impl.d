@@ -1,0 +1,1 @@
+lib/core/sweep.ml: Aig Array Cnf Hashtbl List Option Proof Sat Simclass

@@ -1,0 +1,20 @@
+(** Independent validation of equivalence certificates.
+
+    A {!Cec.certificate} claims: "this resolution proof derives the
+    empty clause from this CNF".  {!validate} re-checks every chain and
+    the leaf set.  {!validate_against} goes further: it rebuilds the
+    miter CNF from the two circuits and insists the certificate's
+    formula is exactly it, closing the loop from circuits to proof. *)
+
+type error =
+  | Proof_error of Proof.Checker.error
+  | Formula_mismatch of string
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Check the proof against the certificate's own formula.  Returns the
+    number of verified chains. *)
+val validate : Cec.certificate -> (int, error) result
+
+(** Check the proof against the miter CNF rebuilt from the circuits. *)
+val validate_against : Cec.certificate -> Aig.t -> Aig.t -> (int, error) result

@@ -1,0 +1,82 @@
+module Sim = Aig.Sim
+module Rng = Support.Rng
+
+type t = {
+  g : Aig.t;
+  words : int;
+  seed : int;
+  mutable patterns : bool array list; (* newest first *)
+  mutable repr : int array;
+  mutable phase : bool array;
+}
+
+(* Signature of a node normalized for complement: if the first
+   simulated bit is 1, the whole signature is complemented and the flip
+   recorded, so a node and its negation land in the same class. *)
+let normalized_signature values =
+  let flip = Int64.logand values.(0) 1L = 1L in
+  let key = if flip then Array.map Int64.lognot values else Array.copy values in
+  (key, flip)
+
+let recompute t =
+  let n_cex = List.length t.patterns in
+  let cex_words = (n_cex + 63) / 64 in
+  let words = t.words + cex_words in
+  let sim = Sim.create t.g ~words in
+  Sim.randomize_inputs sim (Rng.create t.seed);
+  (* Counterexample patterns occupy the trailing bits deterministically;
+     list order (newest first) maps to descending bit positions. *)
+  List.iteri
+    (fun k pattern ->
+      let bit = (t.words * 64) + k in
+      Array.iteri (fun i v -> Sim.set_input_bit sim ~input:i ~bit v) pattern)
+    t.patterns;
+  Sim.run sim;
+  let num_nodes = Aig.num_nodes t.g in
+  let repr = Array.make num_nodes 0 in
+  let phase = Array.make num_nodes false in
+  let table = Hashtbl.create (2 * num_nodes) in
+  for node = 0 to num_nodes - 1 do
+    let key, flip = normalized_signature (Sim.node_values sim node) in
+    match Hashtbl.find_opt table key with
+    | Some (leader, leader_flip) ->
+      repr.(node) <- leader;
+      phase.(node) <- flip <> leader_flip
+    | None ->
+      Hashtbl.add table key (node, flip);
+      repr.(node) <- node
+  done;
+  t.repr <- repr;
+  t.phase <- phase
+
+let create g ~words ~seed =
+  if words <= 0 then invalid_arg "Simclass.create: words must be positive";
+  let t = { g; words; seed; patterns = []; repr = [||]; phase = [||] } in
+  recompute t;
+  t
+
+let graph t = t.g
+
+let add_pattern t pattern =
+  if Array.length pattern <> Aig.num_inputs t.g then
+    invalid_arg "Simclass.add_pattern: wrong arity";
+  t.patterns <- Array.copy pattern :: t.patterns;
+  recompute t
+
+let num_patterns t = List.length t.patterns
+
+let candidate t n =
+  let r = t.repr.(n) in
+  if r = n then None else Some (r, t.phase.(n))
+
+let leader t n = t.repr.(n)
+
+let class_stats t =
+  let counts = Hashtbl.create 64 in
+  Array.iter
+    (fun r -> Hashtbl.replace counts r (1 + Option.value ~default:0 (Hashtbl.find_opt counts r)))
+    t.repr;
+  Hashtbl.fold
+    (fun _ count (classes, members) ->
+      if count >= 2 then (classes + 1, members + count) else (classes, members))
+    counts (0, 0)

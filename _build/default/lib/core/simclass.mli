@@ -1,0 +1,36 @@
+(** Candidate-equivalence classes from random simulation.
+
+    Nodes whose simulation signatures agree (up to complement) are
+    candidates for being functionally equivalent; SAT settles each
+    candidate, and counterexamples feed back as refinement patterns.
+    The partition refines monotonically: two nodes separated by any
+    stored pattern can never rejoin. *)
+
+type t
+
+(** [create g ~words ~seed] simulates [g] under [64*words] random
+    patterns and builds the initial partition over {e all} nodes
+    (constant, inputs and ANDs). *)
+val create : Aig.t -> words:int -> seed:int -> t
+
+val graph : t -> Aig.t
+
+(** Add a counterexample input assignment and re-simulate (the random
+    patterns are regenerated deterministically, so refinement is
+    reproducible). *)
+val add_pattern : t -> bool array -> unit
+
+(** Number of stored counterexample patterns. *)
+val num_patterns : t -> int
+
+(** [candidate t n] is [Some (r, phase)] when node [n] shares its class
+    with an earlier node [r] (the class leader): the simulations claim
+    [n = r XOR phase].  [None] when [n] leads its own class. *)
+val candidate : t -> int -> (int * bool) option
+
+(** Class leader of a node ([n] itself when it leads). *)
+val leader : t -> int -> int
+
+(** Number of classes with at least two members, and total nodes in
+    them (candidate-equivalence volume). *)
+val class_stats : t -> int * int

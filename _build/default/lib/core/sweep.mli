@@ -1,0 +1,62 @@
+(** SAT sweeping with resolution-proof stitching — the paper's engine.
+
+    The input is a single-output miter.  The engine simulates to guess
+    candidate node equivalences, settles each candidate with two small
+    assumption-based SAT calls over the candidates' fanin cones, lifts
+    each refutation into an {e equivalence lemma clause} proved from
+    the miter CNF, and feeds lemmas to later calls.  The final call
+    refutes the miter's output unit clause; importing that refutation —
+    with lemma leaves replaced by their own derivations — yields one
+    resolution proof of the miter CNF whose leaves are exactly original
+    clauses. *)
+
+type config = {
+  words : int;  (** random simulation words (64 patterns each) *)
+  seed : int;  (** simulation seed *)
+  max_conflicts : int option;  (** per-query conflict budget *)
+  lemma_reuse : bool;  (** feed proved lemmas to later SAT calls *)
+  incremental : bool;
+      (** engine mode.  [false]: a fresh solver per query over the
+          candidates' fanin cones, assumption-unit clauses, proof
+          {!Proof.Lift}ed and imported into a global store (the flow as
+          described in the paper).  [true]: one persistent solver whose
+          proof store {e is} the global proof — cone clauses added
+          on demand, native solver assumptions, lemmas installed as
+          derived clauses; no lifting or importing at all.  Both
+          produce the same kind of checkable certificate. *)
+}
+
+val default_config : config
+
+type stats = {
+  mutable sat_calls : int;  (** SAT queries issued (including final) *)
+  mutable cex : int;  (** queries refuted by a counterexample *)
+  mutable unknowns : int;  (** queries that hit the conflict budget *)
+  mutable merges : int;  (** node pairs proved equivalent *)
+  mutable const_merges : int;  (** nodes proved constant *)
+  mutable lemmas : int;  (** lemma clauses derived *)
+  mutable conflicts : int;  (** total solver conflicts *)
+}
+
+type outcome =
+  | Proved of {
+      proof : Proof.Resolution.t;
+      root : Proof.Resolution.id;
+      formula : Cnf.Formula.t;  (** the miter CNF the proof refutes *)
+    }
+  | Disproved of bool array  (** an input assignment setting the output *)
+  | Unresolved  (** final query exhausted its budget *)
+
+(** [run miter config] sweeps and proves.  The final SAT call runs
+    without a conflict budget unless the per-query budget is set, in
+    which case it applies there too.
+    @raise Invalid_argument unless [miter] has exactly one output. *)
+val run : Aig.t -> config -> outcome * stats
+
+(** [fraig g config] is functional reduction: sweep an arbitrary
+    (multi-output) graph and rebuild it with every proved-equivalent
+    node replaced by its class representative — the classic FRAIG
+    operation, with every merge justified by a SAT proof against the
+    graph's own Tseitin CNF.  Returns the reduced graph (same
+    interface, same functions) and the sweeping statistics. *)
+val fraig : Aig.t -> config -> Aig.t * stats

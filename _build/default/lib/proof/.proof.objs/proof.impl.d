@@ -1,0 +1,1 @@
+lib/proof/proof.ml: Checker Compress Core Export Interpolant Lift Pstats Resolution Rup Trim

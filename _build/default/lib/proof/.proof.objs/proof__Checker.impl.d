@@ -1,0 +1,1 @@
+lib/proof/checker.ml: Array Cnf Format Printf Resolution

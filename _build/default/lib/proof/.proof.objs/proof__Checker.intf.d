@@ -1,0 +1,1 @@
+lib/proof/checker.mli: Cnf Format Resolution

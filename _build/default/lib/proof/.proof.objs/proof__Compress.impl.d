@@ -1,0 +1,1 @@
+lib/proof/compress.ml: Array Cnf Hashtbl Resolution

@@ -1,0 +1,1 @@
+lib/proof/compress.mli: Resolution

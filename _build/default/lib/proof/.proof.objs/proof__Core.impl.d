@@ -1,0 +1,1 @@
+lib/proof/core.ml: Array Cnf Hashtbl List Printf Resolution

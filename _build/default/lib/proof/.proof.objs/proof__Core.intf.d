@@ -1,0 +1,1 @@
+lib/proof/core.mli: Cnf Resolution

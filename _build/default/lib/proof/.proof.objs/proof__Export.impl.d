@@ -1,0 +1,1 @@
+lib/proof/export.ml: Aig Array Buffer Cnf Hashtbl List Printf Resolution String

@@ -1,0 +1,1 @@
+lib/proof/export.mli: Resolution

@@ -1,0 +1,1 @@
+lib/proof/interpolant.ml: Aig Array Cnf Hashtbl Printf Resolution

@@ -1,0 +1,1 @@
+lib/proof/interpolant.mli: Aig Cnf Resolution

@@ -1,0 +1,1 @@
+lib/proof/lift.ml: Aig Array Cnf Hashtbl List Printf Resolution

@@ -1,0 +1,1 @@
+lib/proof/lift.mli: Cnf Resolution

@@ -1,0 +1,1 @@
+lib/proof/pstats.ml: Array Cnf Format Fun List Resolution

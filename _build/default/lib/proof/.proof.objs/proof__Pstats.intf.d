@@ -1,0 +1,1 @@
+lib/proof/pstats.mli: Format Resolution

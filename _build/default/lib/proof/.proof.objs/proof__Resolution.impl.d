@@ -1,0 +1,1 @@
+lib/proof/resolution.ml: Aig Array Cnf Format Hashtbl Support

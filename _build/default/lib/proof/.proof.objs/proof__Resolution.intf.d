@@ -1,0 +1,1 @@
+lib/proof/resolution.mli: Cnf Format

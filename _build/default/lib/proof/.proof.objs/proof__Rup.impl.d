@@ -1,0 +1,1 @@
+lib/proof/rup.ml: Aig Cnf Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/proof/rup.mli: Cnf Format

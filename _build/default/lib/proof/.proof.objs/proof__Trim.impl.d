@@ -1,0 +1,1 @@
+lib/proof/trim.ml: Array Resolution

@@ -1,0 +1,1 @@
+lib/proof/trim.mli: Resolution

@@ -1,0 +1,51 @@
+module Clause = Cnf.Clause
+module R = Resolution
+
+type error = { node_id : R.id; reason : string }
+
+let pp_error fmt e = Format.fprintf fmt "proof node %d: %s" e.node_id e.reason
+
+let error node_id fmt = Printf.ksprintf (fun reason -> Error { node_id; reason }) fmt
+
+let check_cone proof ~root ~formula ~allow_assumptions =
+  let order = R.reachable proof ~root in
+  let chains = ref 0 in
+  let rec loop i =
+    if i >= Array.length order then Ok !chains
+    else
+      let id = order.(i) in
+      match R.node proof id with
+      | R.Leaf { clause; assumption } ->
+        if assumption && not allow_assumptions then
+          error id "assumption leaf in a final proof"
+        else begin
+          match formula with
+          | Some f when (not assumption) && not (Cnf.Formula.mem f clause) ->
+            error id "leaf clause %s is not in the formula" (Clause.to_dimacs_string clause)
+          | Some _ | None -> loop (i + 1)
+        end
+      | R.Chain { clause; antecedents; pivots } -> (
+        match R.recompute_chain proof ~antecedents ~pivots with
+        | derived ->
+          if Clause.equal derived clause then begin
+            incr chains;
+            loop (i + 1)
+          end
+          else
+            error id "chain derives %s but claims %s" (Clause.to_dimacs_string derived)
+              (Clause.to_dimacs_string clause)
+        | exception Invalid_argument msg -> error id "invalid resolution step: %s" msg)
+  in
+  loop 0
+
+let check proof ~root ?formula () =
+  if not (Clause.is_empty (R.clause_of proof root)) then
+    error root "root clause is not empty"
+  else check_cone proof ~root ~formula ~allow_assumptions:false
+
+let check_derivation proof ~root ~expected ?formula () =
+  let derived = R.clause_of proof root in
+  if not (Clause.subsumes derived expected) then
+    error root "derived clause %s does not subsume expected %s"
+      (Clause.to_dimacs_string derived) (Clause.to_dimacs_string expected)
+  else check_cone proof ~root ~formula ~allow_assumptions:false

@@ -1,0 +1,36 @@
+(** Independent validation of resolution proofs.
+
+    The checker re-derives every chain with {!Cnf.Clause.resolve} and
+    compares against the stored clause, and optionally validates that
+    every leaf in the cone of the root belongs to a given formula.
+    It shares no code with the solver's proof logging, which is the
+    point: a bug in logging cannot also hide in checking. *)
+
+type error = {
+  node_id : Resolution.id;
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check proof ~root ~formula] validates the sub-DAG rooted at
+    [root]:
+    - every chain resolves to exactly its stored clause;
+    - the root's clause is empty (a refutation);
+    - no assumption leaves remain in the cone;
+    - when [formula] is given, every leaf clause is a member of it.
+
+    Returns the number of chain nodes verified. *)
+val check :
+  Resolution.t -> root:Resolution.id -> ?formula:Cnf.Formula.t -> unit -> (int, error) result
+
+(** [check_derivation proof ~root ~expected ~formula] is like {!check}
+    but for lemma derivations: the root clause must {e subsume}
+    [expected] rather than be empty. *)
+val check_derivation :
+  Resolution.t ->
+  root:Resolution.id ->
+  expected:Cnf.Clause.t ->
+  ?formula:Cnf.Formula.t ->
+  unit ->
+  (int, error) result

@@ -1,0 +1,40 @@
+module Clause = Cnf.Clause
+module R = Resolution
+
+let share proof ~root =
+  let dst = R.create () in
+  let by_clause : (Clause.t, R.id) Hashtbl.t = Hashtbl.create 256 in
+  let map : (R.id, R.id) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun id ->
+      let dst_id =
+        match R.node proof id with
+        | R.Leaf { clause; assumption = true } ->
+          (* Assumption leaves are never shared: substituting them by a
+             derivation (or vice versa) would change what Lift removes. *)
+          R.add_leaf ~assumption:true dst clause
+        | R.Leaf { clause; assumption = false } -> (
+          match Hashtbl.find_opt by_clause clause with
+          | Some existing -> existing
+          | None ->
+            let fresh = R.add_leaf dst clause in
+            Hashtbl.replace by_clause clause fresh;
+            fresh)
+        | R.Chain { clause; antecedents; pivots } -> (
+          match Hashtbl.find_opt by_clause clause with
+          | Some existing -> existing
+          | None ->
+            let antecedents = Array.map (Hashtbl.find map) antecedents in
+            let fresh = R.add_chain dst ~clause ~antecedents ~pivots in
+            Hashtbl.replace by_clause clause fresh;
+            fresh)
+      in
+      Hashtbl.replace map id dst_id)
+    (R.reachable proof ~root);
+  (dst, Hashtbl.find map root)
+
+let sharing_gain proof ~root =
+  let shared, shared_root = share proof ~root in
+  let kept = Array.length (R.reachable shared ~root:shared_root) in
+  let original = Array.length (R.reachable proof ~root) in
+  (kept, original)

@@ -1,0 +1,15 @@
+(** Proof compression by derivation sharing.
+
+    Different SAT calls (and different restarts of one call) often
+    re-derive the same clause.  [share] rebuilds the cone of a root so
+    that each distinct clause is derived exactly once: the first
+    derivation encountered in topological order is kept, later ones are
+    replaced by references to it.  The result proves the same root
+    clause from a subset of the same leaves and still checks with
+    {!Checker}. *)
+
+(** [share proof ~root] is the shared-cone proof and its root. *)
+val share : Resolution.t -> root:Resolution.id -> Resolution.t * Resolution.id
+
+(** Nodes in the shared cone vs. nodes in the original cone. *)
+val sharing_gain : Resolution.t -> root:Resolution.id -> int * int

@@ -1,0 +1,40 @@
+module Clause = Cnf.Clause
+module Formula = Cnf.Formula
+
+let of_proof formula proof ~root =
+  (* Map clauses to their first index in the formula. *)
+  let index = Hashtbl.create (Formula.num_clauses formula) in
+  Formula.iteri
+    (fun i c -> if not (Hashtbl.mem index c) then Hashtbl.add index c i)
+    formula;
+  let seen = Hashtbl.create 64 in
+  Array.iter
+    (fun id ->
+      match Resolution.node proof id with
+      | Resolution.Leaf { clause; _ } -> (
+        match Hashtbl.find_opt index clause with
+        | Some i -> Hashtbl.replace seen i ()
+        | None ->
+          invalid_arg
+            (Printf.sprintf "Core.of_proof: leaf clause %s not in the formula"
+               (Clause.to_dimacs_string clause)))
+      | Resolution.Chain _ -> ())
+    (Resolution.reachable proof ~root);
+  List.sort compare (Hashtbl.fold (fun i () acc -> i :: acc) seen [])
+
+let minimize ~is_unsat formula core =
+  let formula_of indices =
+    let f = Formula.create () in
+    Formula.ensure_vars f (Formula.num_vars formula);
+    List.iter (fun i -> ignore (Formula.add f (Formula.clause formula i))) indices;
+    f
+  in
+  (* Deletion-based: try dropping each clause in turn; keep it only if
+     the rest stops being unsatisfiable. *)
+  let rec loop kept = function
+    | [] -> List.rev kept
+    | i :: rest ->
+      let candidate = List.rev_append kept rest in
+      if is_unsat (formula_of candidate) then loop kept rest else loop (i :: kept) rest
+  in
+  loop [] core

@@ -1,0 +1,24 @@
+(** Unsatisfiable cores from resolution proofs.
+
+    The leaves of a refutation are an unsatisfiable subset of the
+    formula — a {e core}.  Cores from a single proof are usually not
+    minimal; {!minimize} shrinks one by deletion probing (re-solving
+    without one clause at a time), yielding a minimal unsatisfiable
+    subset (MUS) when the prover is complete.
+
+    The proof library cannot depend on the SAT solver (the dependency
+    runs the other way), so minimization is parameterized by an
+    [is_unsat] oracle — pass [Sat]'s solver, or any other decision
+    procedure. *)
+
+(** Clause indices (into the formula) of the refutation's leaves.
+    @raise Invalid_argument if a leaf clause is not in the formula. *)
+val of_proof : Cnf.Formula.t -> Resolution.t -> root:Resolution.id -> int list
+
+(** [minimize ~is_unsat formula core] repeatedly drops clauses that are
+    not needed for unsatisfiability.  [core] is a list of clause
+    indices (into [formula]) whose conjunction is unsatisfiable; the
+    result is a subset with the same property.  [is_unsat] receives a
+    candidate sub-formula; if it is incomplete (budgeted) and answers
+    [false] conservatively, the affected clauses are kept. *)
+val minimize : is_unsat:(Cnf.Formula.t -> bool) -> Cnf.Formula.t -> int list -> int list

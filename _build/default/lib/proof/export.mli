@@ -1,0 +1,29 @@
+(** Textual proof formats.
+
+    [trace] is a zChaff/TraceCheck-style format, one node per line:
+
+    {v
+    <id> L <lit> ... <lit> 0            (input clause)
+    <id> A <lit> ... <lit> 0            (assumption leaf)
+    <id> C <ante> [<pivot> <ante>]... 0 <lit> ... <lit> 0
+    v}
+
+    Literals are DIMACS integers.  Node ids and pivot variables are
+    printed 1-based (like DIMACS variables) so that 0 is unambiguously
+    a terminator.  [drup] emits
+    the derived clauses in order, ending with the empty clause — the
+    lemma stream a DRUP checker consumes (resolution information is
+    dropped). *)
+
+val trace_to_string : Resolution.t -> root:Resolution.id -> string
+val drup_to_string : Resolution.t -> root:Resolution.id -> string
+
+(** Parse the [trace] format back (ids are renumbered densely).
+    @raise Failure on malformed input. *)
+val trace_of_string : string -> Resolution.t * Resolution.id
+
+(** Graphviz rendering of the sub-DAG rooted at [root]: leaves as
+    boxes (assumptions dashed), chains as ellipses labelled with their
+    clauses, edges labelled with pivot variables.  For inspecting small
+    proofs: [dot -Tsvg proof.dot]. *)
+val dot_to_string : Resolution.t -> root:Resolution.id -> string

@@ -1,0 +1,51 @@
+module Clause = Cnf.Clause
+module Formula = Cnf.Formula
+module Lit = Aig.Lit
+module R = Resolution
+
+exception Partition_error of string
+
+let compute proof ~root ~a ~b =
+  if not (Clause.is_empty (R.clause_of proof root)) then
+    invalid_arg "Interpolant.compute: root is not a refutation";
+  let num_vars = max (Formula.num_vars a) (Formula.num_vars b) in
+  (* B-occurrence per variable decides both leaf projections and the
+     connective used at each resolution step. *)
+  let in_b = Array.make (max num_vars 1) false in
+  Formula.iter (fun c -> Clause.iter (fun l -> in_b.(Lit.var l) <- true) c) b;
+  let g = Aig.create ~num_inputs:num_vars in
+  let lit_of_cnf_lit l = Lit.apply_sign (Aig.input g (Lit.var l)) ~neg:(Lit.is_neg l) in
+  let itp : (R.id, Lit.t) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun id ->
+      let value =
+        match R.node proof id with
+        | R.Leaf { assumption = true; _ } ->
+          raise (Partition_error (Printf.sprintf "leaf %d is an assumption" id))
+        | R.Leaf { clause; assumption = false } ->
+          if Formula.mem a clause then
+            (* disjunction of the clause's B-variable literals *)
+            Aig.or_list g
+              (Clause.fold
+                 (fun acc l -> if in_b.(Lit.var l) then lit_of_cnf_lit l :: acc else acc)
+                 [] clause)
+          else if Formula.mem b clause then Lit.true_
+          else
+            raise
+              (Partition_error
+                 (Printf.sprintf "leaf clause %s is in neither partition"
+                    (Clause.to_dimacs_string clause)))
+        | R.Chain { antecedents; pivots; _ } ->
+          let acc = ref (Hashtbl.find itp antecedents.(0)) in
+          Array.iteri
+            (fun i pivot ->
+              let rhs = Hashtbl.find itp antecedents.(i + 1) in
+              acc :=
+                if in_b.(pivot) then Aig.and_ g !acc rhs else Aig.or_ g !acc rhs)
+            pivots;
+          !acc
+      in
+      Hashtbl.replace itp id value)
+    (R.reachable proof ~root);
+  Aig.add_output g (Hashtbl.find itp root);
+  g

@@ -1,0 +1,28 @@
+(** Craig interpolation from resolution refutations (McMillan's
+    labelling).
+
+    Given a refutation of [A ∧ B], an interpolant is a formula [I]
+    with [A ⊨ I], [I ∧ B] unsatisfiable, and [vars(I)] contained in
+    the variables shared by [A] and [B].  Interpolants are the premier
+    downstream consumer of the resolution proofs this project emits:
+    model checkers extract them from equivalence/BMC refutations as
+    over-approximate image operators.
+
+    The interpolant is returned as an AIG whose primary input [i]
+    stands for CNF variable [i], so circuit tooling (simulation,
+    strashing, {!Aig.Cone.support}) applies directly. *)
+
+exception Partition_error of string
+
+(** [compute proof ~root ~a ~b] labels every leaf clause of the
+    refutation as an A-leaf (member of [a]) or B-leaf (member of [b];
+    checked in that order when a clause is in both) and applies
+    McMillan's rules: A-leaves yield the disjunction of their
+    B-variable literals, B-leaves yield true; resolutions on A-local
+    pivots disjoin, all others conjoin.
+
+    @raise Partition_error if a leaf is in neither formula, or an
+    assumption leaf survives in the cone.
+    @raise Invalid_argument if [root]'s clause is not empty. *)
+val compute :
+  Resolution.t -> root:Resolution.id -> a:Cnf.Formula.t -> b:Cnf.Formula.t -> Aig.t

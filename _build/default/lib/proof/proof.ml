@@ -1,0 +1,13 @@
+(** Library interface: resolution proof store, checker, assumption
+    lifting, trimming, statistics and text formats. *)
+
+module Resolution = Resolution
+module Checker = Checker
+module Lift = Lift
+module Trim = Trim
+module Pstats = Pstats
+module Export = Export
+module Rup = Rup
+module Compress = Compress
+module Interpolant = Interpolant
+module Core = Core

@@ -1,0 +1,47 @@
+type t = {
+  leaves : int;
+  assumptions : int;
+  chains : int;
+  resolutions : int;
+  literals : int;
+  depth : int;
+}
+
+let of_ids proof ids =
+  let max_id = Array.fold_left max 0 ids in
+  let depth = Array.make (max_id + 1) 0 in
+  let stats = ref { leaves = 0; assumptions = 0; chains = 0; resolutions = 0; literals = 0; depth = 0 } in
+  Array.iter
+    (fun id ->
+      match Resolution.node proof id with
+      | Resolution.Leaf { assumption; _ } ->
+        let s = !stats in
+        stats :=
+          { s with leaves = s.leaves + 1; assumptions = (s.assumptions + if assumption then 1 else 0) }
+      | Resolution.Chain { clause; antecedents; _ } ->
+        let d = 1 + Array.fold_left (fun acc a -> max acc depth.(a)) 0 antecedents in
+        depth.(id) <- d;
+        let s = !stats in
+        stats :=
+          {
+            s with
+            chains = s.chains + 1;
+            resolutions = s.resolutions + Array.length antecedents - 1;
+            literals = s.literals + Cnf.Clause.size clause;
+            depth = max s.depth d;
+          })
+    ids;
+  !stats
+
+let of_root proof ~root = of_ids proof (Resolution.reachable proof ~root)
+
+let of_proof proof = of_ids proof (Array.init (Resolution.size proof) Fun.id)
+
+let pp fmt s =
+  Format.fprintf fmt "leaves=%d chains=%d resolutions=%d literals=%d depth=%d" s.leaves s.chains
+    s.resolutions s.literals s.depth
+
+let columns = [ "leaves"; "chains"; "resolutions"; "literals"; "depth" ]
+
+let row s =
+  List.map string_of_int [ s.leaves; s.chains; s.resolutions; s.literals; s.depth ]

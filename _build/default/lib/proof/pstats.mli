@@ -1,0 +1,24 @@
+(** Size metrics of resolution proofs — the quantities the paper's
+    evaluation tables report. *)
+
+type t = {
+  leaves : int;  (** distinct input clauses used *)
+  assumptions : int;  (** assumption leaves (0 in final proofs) *)
+  chains : int;  (** derived clauses *)
+  resolutions : int;  (** total resolution steps, i.e. Σ (chain length − 1) *)
+  literals : int;  (** total literal occurrences over derived clauses *)
+  depth : int;  (** longest path from a leaf to the root *)
+}
+
+(** Statistics of the sub-DAG rooted at [root]. *)
+val of_root : Resolution.t -> root:Resolution.id -> t
+
+(** Statistics of a whole store (depth over all nodes). *)
+val of_proof : Resolution.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Header and row renderers for the benchmark tables. *)
+val columns : string list
+
+val row : t -> string list

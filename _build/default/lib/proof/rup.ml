@@ -1,0 +1,77 @@
+module Clause = Cnf.Clause
+module Lit = Aig.Lit
+
+type error = { index : int; clause : Clause.t; reason : string }
+
+let pp_error fmt e =
+  Format.fprintf fmt "lemma %d %s: %s" e.index (Clause.to_dimacs_string e.clause) e.reason
+
+(* Naive unit propagation to a fixpoint: repeatedly scan all clauses.
+   Quadratic in the worst case, which is fine for a reference checker —
+   clarity and independence from the solver matter more than speed. *)
+let propagate_to_conflict clauses assignment =
+  let changed = ref true in
+  let conflict = ref false in
+  while !changed && not !conflict do
+    changed := false;
+    List.iter
+      (fun c ->
+        if not !conflict then begin
+          let unassigned = ref [] in
+          let satisfied = ref false in
+          Clause.iter
+            (fun l ->
+              match Hashtbl.find_opt assignment (Lit.var l) with
+              | None -> unassigned := l :: !unassigned
+              | Some v -> if v <> Lit.is_neg l then satisfied := true)
+            c;
+          if not !satisfied then begin
+            match !unassigned with
+            | [] -> conflict := true
+            | [ l ] ->
+              Hashtbl.replace assignment (Lit.var l) (not (Lit.is_neg l));
+              changed := true
+            | _ :: _ :: _ -> ()
+          end
+        end)
+      clauses
+  done;
+  !conflict
+
+let check_clause formula lemmas c =
+  let assignment = Hashtbl.create 64 in
+  (* Assume the negation of every literal of [c]. *)
+  Clause.iter (fun l -> Hashtbl.replace assignment (Lit.var l) (Lit.is_neg l)) c;
+  let clauses = Cnf.Formula.to_list formula @ lemmas in
+  propagate_to_conflict clauses assignment
+
+let check_stream formula lemmas =
+  let rec loop index accepted = function
+    | [] ->
+      (match accepted with
+      | last :: _ when Clause.is_empty last -> Ok index
+      | _ -> Error { index = index - 1; clause = Clause.empty; reason = "stream does not end with the empty clause" })
+    | c :: rest ->
+      if check_clause formula (List.rev accepted) c then loop (index + 1) (c :: accepted) rest
+      else Error { index; clause = c; reason = "clause is not RUP" }
+  in
+  loop 0 [] lemmas
+
+let check_drup_string formula text =
+  let lemmas =
+    String.split_on_char '\n' text
+    |> List.filter (fun line -> String.trim line <> "")
+    |> List.map (fun line ->
+           let lits =
+             String.split_on_char ' ' line
+             |> List.filter (fun tok -> tok <> "")
+             |> List.map (fun tok ->
+                    match int_of_string_opt tok with
+                    | Some v -> v
+                    | None -> failwith (Printf.sprintf "Rup.check_drup_string: bad token %S" tok))
+           in
+           match List.rev lits with
+           | 0 :: rest -> Clause.of_list (List.rev_map Lit.of_dimacs rest)
+           | _ -> failwith "Rup.check_drup_string: clause missing terminator")
+  in
+  check_stream formula lemmas

@@ -1,0 +1,29 @@
+(** Reverse-unit-propagation (RUP / DRUP) checking.
+
+    A clause [C] has the RUP property with respect to a formula [F]
+    when unit propagation on [F ∧ ¬C] derives a conflict.  Every clause
+    a CDCL solver learns is RUP, so the derived-clause stream exported
+    by {!Export.drup_to_string} is verifiable without any resolution
+    information — a second, completely independent checking path beside
+    {!Checker}. *)
+
+type error = {
+  index : int;  (** 0-based position in the stream *)
+  clause : Cnf.Clause.t;
+  reason : string;
+}
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [check_clause formula lemmas c] decides whether [c] is RUP with
+    respect to [formula]'s clauses plus the [lemmas] accepted so far. *)
+val check_clause : Cnf.Formula.t -> Cnf.Clause.t list -> Cnf.Clause.t -> bool
+
+(** [check_stream formula lemmas] verifies each lemma in order (each
+    may use the previous ones) and requires the last to be the empty
+    clause.  Returns the number of lemmas verified. *)
+val check_stream : Cnf.Formula.t -> Cnf.Clause.t list -> (int, error) result
+
+(** Parse the output of {!Export.drup_to_string} and verify it.
+    @raise Failure on malformed text. *)
+val check_drup_string : Cnf.Formula.t -> string -> (int, error) result

@@ -1,0 +1,10 @@
+let cone proof ~root =
+  let dst = Resolution.create () in
+  let map_leaf src_id clause =
+    Resolution.add_leaf ~assumption:(Resolution.is_assumption proof src_id) dst clause
+  in
+  let root' = Resolution.import dst proof ~root ~map_leaf in
+  (dst, root')
+
+let sizes proof ~root =
+  (Array.length (Resolution.reachable proof ~root), Resolution.size proof)

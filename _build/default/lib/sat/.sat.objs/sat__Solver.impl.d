@@ -1,0 +1,1 @@
+lib/sat/solver.ml: Aig Array Cnf Hashtbl Heap List Luby Proof Support

@@ -1,0 +1,21 @@
+type result =
+  | Sat of bool array
+  | Unsat
+
+let solve f =
+  let n = Cnf.Formula.num_vars f in
+  if n > 24 then invalid_arg "Brute.solve: too many variables";
+  let clauses = Cnf.Formula.to_list f in
+  let assignment = Array.make n false in
+  let rec try_mask mask =
+    if mask >= 1 lsl n then Unsat
+    else begin
+      for v = 0 to n - 1 do
+        assignment.(v) <- (mask lsr v) land 1 = 1
+      done;
+      if List.for_all (fun c -> Cnf.Clause.satisfied_by c assignment) clauses then
+        Sat (Array.copy assignment)
+      else try_mask (mask + 1)
+    end
+  in
+  if List.exists Cnf.Clause.is_empty clauses then Unsat else try_mask 0

@@ -1,0 +1,12 @@
+(** Reference solver: exhaustive enumeration with unit propagation.
+
+    Deliberately simple and slow — an independent oracle the test suite
+    compares the CDCL solver against on small random formulas. *)
+
+type result =
+  | Sat of bool array
+  | Unsat
+
+(** [solve f] decides [f] by enumerating assignments.
+    @raise Invalid_argument when [f] has more than 24 variables. *)
+val solve : Cnf.Formula.t -> result

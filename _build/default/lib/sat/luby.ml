@@ -1,0 +1,17 @@
+(* MiniSat's formulation: locate the smallest complete block of length
+   2^(seq+1) - 1 containing index [i], then recurse into the repeated
+   prefix until [i] lands on a block's last position. *)
+let term i =
+  if i < 0 then invalid_arg "Luby.term: negative index";
+  let size = ref 1 and seq = ref 0 in
+  while !size < i + 1 do
+    incr seq;
+    size := (2 * !size) + 1
+  done;
+  let x = ref i in
+  while !size - 1 <> !x do
+    size := (!size - 1) / 2;
+    decr seq;
+    x := !x mod !size
+  done;
+  1 lsl !seq

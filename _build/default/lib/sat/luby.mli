@@ -1,0 +1,4 @@
+(** The Luby restart sequence 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ... *)
+
+(** [term i] is the [i]-th term, 0-based. *)
+val term : int -> int

@@ -1,0 +1,6 @@
+(** Library interface: the proof-logging CDCL solver and companions. *)
+
+module Solver = Solver
+module Brute = Brute
+module Luby = Luby
+module Heap = Heap

@@ -1,0 +1,74 @@
+(** A CDCL SAT solver with resolution-proof logging.
+
+    The solver is MiniSat-shaped — two-watched-literal propagation,
+    VSIDS decision order with phase saving, first-UIP clause learning
+    with self-subsumption minimization, Luby restarts — and, on top,
+    logs every learned clause as a trivial-resolution chain in a
+    {!Proof.Resolution} store, so an unsatisfiable run ends with a
+    checkable derivation of the empty clause whose leaves are the added
+    clauses.
+
+    Clauses marked [~assumption:true] become assumption leaves in the
+    proof; {!Proof.Lift} can then rewrite the refutation into a
+    derivation of the negated assumptions from the other clauses alone.
+    Learned clauses may be deleted from the {e solver} under memory
+    pressure, but never from the {e proof store}, so every logged chain
+    stays permanently valid. *)
+
+type t
+
+type result =
+  | Sat of bool array  (** model indexed by variable *)
+  | Unsat of Proof.Resolution.id  (** root of the refutation in [proof t] *)
+  | Unsat_assuming of {
+      clause : Cnf.Clause.t;  (** a derived clause over negated assumptions *)
+      pid : Proof.Resolution.id;  (** its derivation in [proof t] *)
+    }  (** only when [solve] was given assumptions *)
+  | Unknown  (** conflict budget exhausted *)
+
+(** [create ()] has no variables and an empty internal proof store;
+    pass [~proof] to log into an existing store.  [reduce_base]
+    (default 4000) is the live-learned-clause count that triggers the
+    first activity-based clause-database reduction; deletions never
+    touch the proof store, so logged chains stay valid. *)
+val create : ?proof:Proof.Resolution.t -> ?reduce_base:int -> unit -> t
+
+val proof : t -> Proof.Resolution.t
+
+(** Allocate one fresh variable; returns its index. *)
+val new_var : t -> int
+
+(** Make variables [0 .. n-1] exist. *)
+val ensure_vars : t -> int -> unit
+
+val num_vars : t -> int
+
+(** Add a clause; creates its proof leaf.  Adding the empty clause (or
+    clashing units) makes the solver permanently unsatisfiable.
+    Clauses may be added between [solve] calls (incremental use). *)
+val add_clause : ?assumption:bool -> t -> Cnf.Clause.t -> unit
+
+(** [add_derived_clause t c pid] adds a clause whose derivation already
+    exists in [proof t] at [pid] — a proved lemma.  No leaf is created,
+    so proofs using the clause stitch through its derivation. *)
+val add_derived_clause : t -> Cnf.Clause.t -> Proof.Resolution.id -> unit
+
+(** Add every clause of a formula (none marked as assumptions), and
+    make all its variables exist. *)
+val add_formula : t -> Cnf.Formula.t -> unit
+
+(** Solve the current clause set, optionally under assumption
+    literals.  When the assumptions are inconsistent with the clauses,
+    the result is [Unsat_assuming] carrying a {e proved} clause over
+    the negated assumptions (the equivalence-lemma mechanism of the
+    sweeping engine).  [max_conflicts] bounds the search ([Unknown]
+    when exceeded); default is unbounded.
+    @raise Invalid_argument if the assumption list is self-contradictory. *)
+val solve : ?max_conflicts:int -> ?assumptions:Aig.Lit.t list -> t -> result
+
+(** {1 Statistics} *)
+
+val num_conflicts : t -> int
+val num_decisions : t -> int
+val num_propagations : t -> int
+val num_learned : t -> int

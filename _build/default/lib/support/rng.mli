@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Benchmarks and simulation must be reproducible run-to-run, so all
+    randomness in the project flows through explicitly seeded [Rng.t]
+    states rather than [Stdlib.Random]. *)
+
+type t
+
+(** [create seed] is a fresh generator; equal seeds give equal streams. *)
+val create : int -> t
+
+(** Next raw 64-bit value. *)
+val int64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).  [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+val bool : t -> bool
+
+(** [split t] derives an independent generator (for per-object streams). *)
+val split : t -> t

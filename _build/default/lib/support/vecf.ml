@@ -1,0 +1,44 @@
+type t = { mutable data : float array; mutable size : int }
+
+let create ?(capacity = 16) () =
+  { data = Array.make (max capacity 1) 0.0; size = 0 }
+
+let size v = v.size
+
+let get v i =
+  assert (i >= 0 && i < v.size);
+  Array.unsafe_get v.data i
+
+let set v i x =
+  assert (i >= 0 && i < v.size);
+  Array.unsafe_set v.data i x
+
+let ensure v n =
+  if n > Array.length v.data then begin
+    let capacity = ref (Array.length v.data) in
+    while !capacity < n do
+      capacity := !capacity * 2
+    done;
+    let data = Array.make !capacity 0.0 in
+    Array.blit v.data 0 data 0 v.size;
+    v.data <- data
+  end
+
+let push v x =
+  ensure v (v.size + 1);
+  Array.unsafe_set v.data v.size x;
+  v.size <- v.size + 1
+
+let grow v n x =
+  ensure v n;
+  while v.size < n do
+    Array.unsafe_set v.data v.size x;
+    v.size <- v.size + 1
+  done
+
+let clear v = v.size <- 0
+
+let scale v c =
+  for i = 0 to v.size - 1 do
+    Array.unsafe_set v.data i (Array.unsafe_get v.data i *. c)
+  done

@@ -1,0 +1,17 @@
+(** Growable vectors of unboxed [float]s (activity tables, statistics). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val size : t -> int
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+val push : t -> float -> unit
+
+(** [grow v n x] extends [v] with copies of [x] until [size v >= n]. *)
+val grow : t -> int -> float -> unit
+
+val clear : t -> unit
+
+(** Multiply every element by a constant (VSIDS rescaling). *)
+val scale : t -> float -> unit

@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Cutsweep Isop Npn Resynth

@@ -1,0 +1,1 @@
+lib/synth/cutsweep.ml: Aig Array Hashtbl Int64 Isop List Npn

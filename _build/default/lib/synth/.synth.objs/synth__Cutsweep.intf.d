@@ -1,0 +1,1 @@
+lib/synth/cutsweep.mli: Aig

@@ -1,0 +1,1 @@
+lib/synth/isop.ml: Array Format Int64 List

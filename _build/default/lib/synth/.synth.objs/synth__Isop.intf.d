@@ -1,0 +1,1 @@
+lib/synth/isop.mli: Format

@@ -1,0 +1,1 @@
+lib/synth/npn.ml: Array Fun Int64 Isop List

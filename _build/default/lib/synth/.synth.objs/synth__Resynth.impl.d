@@ -1,0 +1,1 @@
+lib/synth/resynth.ml: Aig Array Int64 Isop List

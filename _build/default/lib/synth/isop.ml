@@ -1,0 +1,87 @@
+type cube = { pos : int; neg : int }
+
+let cube_size c =
+  let rec popcount x = if x = 0 then 0 else (x land 1) + popcount (x lsr 1) in
+  popcount c.pos + popcount c.neg
+
+(* Bit i of index idx is the value of variable i. *)
+let var_masks =
+  [|
+    0xAAAAAAAAAAAAAAAAL;
+    0xCCCCCCCCCCCCCCCCL;
+    0xF0F0F0F0F0F0F0F0L;
+    0xFF00FF00FF00FF00L;
+    0xFFFF0000FFFF0000L;
+    0xFFFFFFFF00000000L;
+  |]
+
+let full_mask vars =
+  if vars >= 6 then -1L else Int64.sub (Int64.shift_left 1L (1 lsl vars)) 1L
+
+let cofactor1 f v =
+  let m = var_masks.(v) and s = 1 lsl v in
+  let hi = Int64.logand f m in
+  Int64.logor hi (Int64.shift_right_logical hi s)
+
+let cofactor0 f v =
+  let m = Int64.lognot var_masks.(v) and s = 1 lsl v in
+  let lo = Int64.logand f m in
+  Int64.logor lo (Int64.shift_left lo s)
+
+let depends f v = cofactor0 f v <> cofactor1 f v
+
+let cube_cover vars c =
+  let acc = ref (full_mask vars) in
+  for v = 0 to vars - 1 do
+    if (c.pos lsr v) land 1 = 1 then acc := Int64.logand !acc var_masks.(v);
+    if (c.neg lsr v) land 1 = 1 then acc := Int64.logand !acc (Int64.lognot var_masks.(v))
+  done;
+  Int64.logand !acc (full_mask vars)
+
+let cover vars cubes =
+  List.fold_left (fun acc c -> Int64.logor acc (cube_cover vars c)) 0L cubes
+
+let compute ~vars truth =
+  if vars < 0 || vars > 6 then invalid_arg "Isop.compute: vars must be within [0, 6]";
+  let full = full_mask vars in
+  let truth = Int64.logand truth full in
+  (* Minato-Morreale over the interval [l, u]: returns a cover C with
+     l <= cover C <= u. *)
+  let rec isop l u =
+    if l = 0L then []
+    else if Int64.logand (Int64.lognot u) full = 0L then [ { pos = 0; neg = 0 } ]
+    else begin
+      let v =
+        let rec find i =
+          if i < 0 then -1 else if depends l i || depends u i then i else find (i - 1)
+        in
+        find (vars - 1)
+      in
+      assert (v >= 0);
+      let l0 = Int64.logand (cofactor0 l v) full and l1 = Int64.logand (cofactor1 l v) full in
+      let u0 = Int64.logand (cofactor0 u v) full and u1 = Int64.logand (cofactor1 u v) full in
+      (* Minterms only reachable with x_v = 0 (resp. 1). *)
+      let c0 = isop (Int64.logand l0 (Int64.lognot u1)) u0 in
+      let c1 = isop (Int64.logand l1 (Int64.lognot u0)) u1 in
+      let cov0 = cover vars c0 and cov1 = cover vars c1 in
+      let l_rest =
+        Int64.logor
+          (Int64.logand l0 (Int64.lognot cov0))
+          (Int64.logand l1 (Int64.lognot cov1))
+      in
+      let c_star = isop l_rest (Int64.logand u0 u1) in
+      List.map (fun c -> { c with neg = c.neg lor (1 lsl v) }) c0
+      @ List.map (fun c -> { c with pos = c.pos lor (1 lsl v) }) c1
+      @ c_star
+    end
+  in
+  isop truth truth
+
+let literal_count cubes = List.fold_left (fun acc c -> acc + cube_size c) 0 cubes
+
+let pp_cube fmt c =
+  for v = 0 to 5 do
+    if (c.pos lsr v) land 1 = 1 then Format.fprintf fmt "x%d" v;
+    if (c.neg lsr v) land 1 = 1 then Format.fprintf fmt "~x%d" v
+  done;
+  if c.pos = 0 && c.neg = 0 then Format.fprintf fmt "1"

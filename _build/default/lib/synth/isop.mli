@@ -1,0 +1,33 @@
+(** Irredundant sum-of-products from truth tables (Minato–Morreale).
+
+    Computes an irredundant cover of any function of up to 6 variables
+    given as a packed truth table — the classical interval-based ISOP
+    recursion over [(lower, upper)] bounds.  Used by window
+    resynthesis to turn a cut function back into logic. *)
+
+type cube = {
+  pos : int;  (** bitmask of variables appearing positively *)
+  neg : int;  (** bitmask of variables appearing negatively *)
+}
+
+(** Number of literals in a cube. *)
+val cube_size : cube -> int
+
+(** All-ones truth table of a function over [vars] variables. *)
+val full_mask : int -> int64
+
+(** Truth table of one cube over [vars] variables. *)
+val cube_cover : int -> cube -> int64
+
+(** Truth table covered by a cube list over [vars] variables. *)
+val cover : int -> cube list -> int64
+
+(** [compute ~vars truth] is an irredundant cover of [truth] (a
+    function of [vars] variables packed into bits [0 .. 2^vars-1]).
+    @raise Invalid_argument unless [0 <= vars <= 6]. *)
+val compute : vars:int -> int64 -> cube list
+
+(** Total literal count of a cover. *)
+val literal_count : cube list -> int
+
+val pp_cube : Format.formatter -> cube -> unit

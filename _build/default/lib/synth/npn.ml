@@ -1,0 +1,65 @@
+type transform = {
+  perm : int array;
+  input_neg : int;
+  output_neg : bool;
+}
+
+(* g(x_0..x_{n-1}) = output_neg XOR f(y) where y.(perm.(i)) = x_i XOR
+   bit i of input_neg. *)
+let apply ~vars t truth =
+  if vars < 0 || vars > 4 then invalid_arg "Npn.apply: vars must be within [0, 4]";
+  let size = 1 lsl vars in
+  let out = ref 0L in
+  for idx = 0 to size - 1 do
+    let src = ref 0 in
+    for i = 0 to vars - 1 do
+      let bit = ((idx lsr i) land 1) lxor ((t.input_neg lsr i) land 1) in
+      if bit = 1 then src := !src lor (1 lsl t.perm.(i))
+    done;
+    let v = Int64.logand (Int64.shift_right_logical truth !src) 1L = 1L in
+    let v = v <> t.output_neg in
+    if v then out := Int64.logor !out (Int64.shift_left 1L idx)
+  done;
+  !out
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) xs in
+        List.map (fun p -> x :: p) (permutations rest))
+      xs
+
+let all_transforms vars =
+  let perms = permutations (List.init vars Fun.id) in
+  List.concat_map
+    (fun perm ->
+      List.concat_map
+        (fun input_neg ->
+          List.map
+            (fun output_neg -> { perm = Array.of_list perm; input_neg; output_neg })
+            [ false; true ])
+        (List.init (1 lsl vars) Fun.id))
+    perms
+
+(* Cache the transform lists: they only depend on [vars]. *)
+let transform_table = Array.init 5 all_transforms
+
+let canonical ~vars truth =
+  if vars < 0 || vars > 4 then invalid_arg "Npn.canonical: vars must be within [0, 4]";
+  let mask = Isop.full_mask vars in
+  let truth = Int64.logand truth mask in
+  let best = ref truth in
+  let best_t = ref { perm = Array.init vars Fun.id; input_neg = 0; output_neg = false } in
+  List.iter
+    (fun t ->
+      let candidate = apply ~vars t truth in
+      if candidate < !best then begin
+        best := candidate;
+        best_t := t
+      end)
+    transform_table.(vars);
+  (!best, !best_t)
+
+let equivalent ~vars a b = fst (canonical ~vars a) = fst (canonical ~vars b)

@@ -1,0 +1,32 @@
+(** NPN canonicalization of small Boolean functions.
+
+    Two functions are NPN-equivalent when one is obtained from the
+    other by Negating inputs, Permuting inputs, and/or Negating the
+    output.  Canonizing cut functions up to NPN lets a matcher (e.g.
+    {!Cutsweep} with [~npn:true]) identify many more functional matches
+    than plain truth-table equality — the standard trick of
+    rewriting-based synthesis.
+
+    Functions are packed truth tables over [vars <= 4] variables
+    (exhaustive canonization enumerates all [2^4 * 4! * 2 = 768]
+    transforms; 4 is also the usual cut size). *)
+
+type transform = {
+  perm : int array;  (** input [i] of the transformed function maps to
+                         slot [perm.(i)] of the original *)
+  input_neg : int;  (** bitmask over the transformed function's inputs *)
+  output_neg : bool;
+}
+
+(** [canonical ~vars truth] is the smallest truth table NPN-equivalent
+    to [truth], together with the transform that produced it.
+    @raise Invalid_argument unless [0 <= vars <= 4]. *)
+val canonical : vars:int -> int64 -> int64 * transform
+
+(** [apply ~vars t truth] applies a transform to a truth table
+    (inverse direction of {!canonical}'s output is not needed by
+    clients; this is exposed for tests). *)
+val apply : vars:int -> transform -> int64 -> int64
+
+(** [equivalent ~vars a b] iff the two functions are NPN-equivalent. *)
+val equivalent : vars:int -> int64 -> int64 -> bool

@@ -1,0 +1,23 @@
+module Lit = Aig.Lit
+
+let cube_to_aig g leaves cube =
+  let lits = ref [] in
+  Array.iteri
+    (fun v leaf ->
+      if (cube.Isop.pos lsr v) land 1 = 1 then lits := leaf :: !lits;
+      if (cube.Isop.neg lsr v) land 1 = 1 then lits := Lit.neg leaf :: !lits)
+    leaves;
+  Aig.and_list g !lits
+
+let sop_to_aig g leaves cubes =
+  Aig.or_list g (List.map (cube_to_aig g leaves) cubes)
+
+let of_truth g leaves truth =
+  let vars = Array.length leaves in
+  if vars > 6 then invalid_arg "Resynth.of_truth: more than 6 leaves";
+  let mask = Isop.full_mask vars in
+  let direct = Isop.compute ~vars truth in
+  let complement = Isop.compute ~vars (Int64.logand (Int64.lognot truth) mask) in
+  if Isop.literal_count complement < Isop.literal_count direct then
+    Lit.neg (sop_to_aig g leaves complement)
+  else sop_to_aig g leaves direct

@@ -1,0 +1,11 @@
+(** Rebuilding logic from local functions. *)
+
+(** [sop_to_aig g leaves cubes] materializes a cube cover over leaf
+    literals [leaves] into [g] (balanced AND per cube, balanced OR of
+    cubes) and returns the result literal. *)
+val sop_to_aig : Aig.t -> Aig.Lit.t array -> Isop.cube list -> Aig.Lit.t
+
+(** [of_truth g leaves truth] resynthesizes the packed truth table
+    (a function of [Array.length leaves] variables, at most 6) into
+    [g] via the cheaper of ISOP([truth]) and ISOP([¬truth]) inverted. *)
+val of_truth : Aig.t -> Aig.Lit.t array -> int64 -> Aig.Lit.t

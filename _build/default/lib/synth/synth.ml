@@ -1,0 +1,7 @@
+(** Library interface: window-level resynthesis — ISOP covers, SOP
+    materialization, and SAT-free cut sweeping. *)
+
+module Isop = Isop
+module Resynth = Resynth
+module Cutsweep = Cutsweep
+module Npn = Npn

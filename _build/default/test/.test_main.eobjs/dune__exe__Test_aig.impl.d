@@ -1,0 +1,1 @@
+test/test_aig.ml: Aig Alcotest Array Circuits Filename Fun Gen Int64 List Printf QCheck QCheck_alcotest String Support Sys

@@ -1,0 +1,1 @@
+test/test_bdd.ml: Aig Alcotest Array Bdd Circuits List Printf Support

@@ -1,0 +1,1 @@
+test/test_cnf.ml: Aig Alcotest Array Circuits Cnf Format Gen List Printf QCheck QCheck_alcotest Support

@@ -1,0 +1,1 @@
+test/test_core.ml: Aig Alcotest Array Bdd Cec_core Circuits List Proof QCheck QCheck_alcotest String Support

@@ -1,0 +1,1 @@
+test/test_edge.ml: Aig Alcotest Array Bdd Circuits Cnf List Printf Proof Sat

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_aig Test_bdd Test_circuits Test_cnf Test_core Test_edge Test_misc Test_proof Test_sat Test_seq Test_support Test_synth

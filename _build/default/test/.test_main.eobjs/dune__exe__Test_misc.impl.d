@@ -1,0 +1,1 @@
+test/test_misc.ml: Aig Alcotest Array Circuits Cnf Int64 List Printf Proof Sat Support Synth

@@ -1,0 +1,1 @@
+test/test_proof.ml: Aig Alcotest Array Cnf List Proof QCheck QCheck_alcotest Sat String Support

@@ -1,0 +1,1 @@
+test/test_sat.ml: Aig Alcotest Array Cnf List Proof Sat Support

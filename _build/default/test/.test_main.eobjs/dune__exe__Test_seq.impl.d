@@ -1,0 +1,1 @@
+test/test_seq.ml: Aig Alcotest Array Cec_core Circuits Fun Hashtbl List Printf Proof Support

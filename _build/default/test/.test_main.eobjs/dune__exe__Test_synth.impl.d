@@ -1,0 +1,1 @@
+test/test_synth.ml: Aig Alcotest Array Cec_core Circuits Int64 List Printf QCheck QCheck_alcotest Support Synth

@@ -1,0 +1,279 @@
+(* Tests for the circuit generators: every arithmetic generator is
+   checked semantically against integer arithmetic, and every rewrite
+   is checked to preserve functions (exhaustively for small widths). *)
+
+module Rng = Support.Rng
+
+let bits_of_int n width = Array.init width (fun i -> (n lsr i) land 1 = 1)
+
+let int_of_bits bits =
+  Array.to_list bits |> List.mapi (fun i b -> if b then 1 lsl i else 0) |> List.fold_left ( + ) 0
+
+(* --- adders --- *)
+
+let check_adder name make width =
+  let g = make width in
+  Alcotest.(check int) (name ^ " inputs") (2 * width) (Aig.num_inputs g);
+  Alcotest.(check int) (name ^ " outputs") (width + 1) (Aig.num_outputs g);
+  let limit = min 256 (1 lsl (2 * width)) in
+  let rng = Rng.create 17 in
+  for _ = 1 to limit do
+    let a = Rng.int rng (1 lsl width) and b = Rng.int rng (1 lsl width) in
+    let assignment = Array.append (bits_of_int a width) (bits_of_int b width) in
+    let sum = int_of_bits (Aig.eval g assignment) in
+    if sum <> a + b then Alcotest.failf "%s: %d + %d = %d (got %d)" name a b (a + b) sum
+  done
+
+let test_ripple_carry () = List.iter (check_adder "ripple" Circuits.Adder.ripple_carry) [ 1; 2; 5; 8 ]
+
+let test_carry_lookahead () =
+  List.iter (check_adder "lookahead" Circuits.Adder.carry_lookahead) [ 1; 2; 5; 8 ]
+
+let test_carry_select () =
+  List.iter (check_adder "select" (Circuits.Adder.carry_select ~block:3)) [ 1; 2; 5; 8 ]
+
+(* --- multipliers --- *)
+
+let check_multiplier name make width =
+  let g = make width in
+  Alcotest.(check int) (name ^ " outputs") (2 * width) (Aig.num_outputs g);
+  for a = 0 to (1 lsl width) - 1 do
+    for b = 0 to (1 lsl width) - 1 do
+      let assignment = Array.append (bits_of_int a width) (bits_of_int b width) in
+      let product = int_of_bits (Aig.eval g assignment) in
+      if product <> a * b then Alcotest.failf "%s: %d * %d = %d (got %d)" name a b (a * b) product
+    done
+  done
+
+let test_array_multiplier () = List.iter (check_multiplier "array" Circuits.Multiplier.array) [ 1; 2; 3; 4 ]
+
+let test_shift_add_multiplier () =
+  List.iter (check_multiplier "shift-add" Circuits.Multiplier.shift_add) [ 1; 2; 3; 4 ]
+
+(* --- datapath --- *)
+
+let test_equality () =
+  let width = 4 in
+  List.iter
+    (fun tree ->
+      let g = Circuits.Datapath.equality ~tree width in
+      for a = 0 to 15 do
+        for b = 0 to 15 do
+          let assignment = Array.append (bits_of_int a width) (bits_of_int b width) in
+          Alcotest.(check bool)
+            (Printf.sprintf "eq(%d,%d)" a b)
+            (a = b)
+            (Aig.eval g assignment).(0)
+        done
+      done)
+    [ true; false ]
+
+let test_less_than () =
+  let width = 4 in
+  let g = Circuits.Datapath.less_than width in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      let assignment = Array.append (bits_of_int a width) (bits_of_int b width) in
+      Alcotest.(check bool) (Printf.sprintf "lt(%d,%d)" a b) (a < b) (Aig.eval g assignment).(0)
+    done
+  done
+
+let test_parity () =
+  List.iter
+    (fun tree ->
+      let g = Circuits.Datapath.parity ~tree 5 in
+      for mask = 0 to 31 do
+        let assignment = bits_of_int mask 5 in
+        let expected = Array.fold_left (fun acc b -> acc <> b) false assignment in
+        Alcotest.(check bool) (Printf.sprintf "parity(%d)" mask) expected (Aig.eval g assignment).(0)
+      done)
+    [ true; false ]
+
+let test_alu () =
+  let width = 3 in
+  let g = Circuits.Datapath.alu width in
+  let mask = (1 lsl width) - 1 in
+  for op = 0 to 3 do
+    for a = 0 to mask do
+      for b = 0 to mask do
+        let assignment =
+          Array.concat
+            [ [| op lsr 1 = 1; op land 1 = 1 |]; bits_of_int a width; bits_of_int b width ]
+        in
+        let result = int_of_bits (Aig.eval g assignment) in
+        let expected =
+          match op with
+          | 0 -> a land b
+          | 1 -> a lor b
+          | 2 -> a lxor b
+          | _ -> (a + b) land mask
+        in
+        if result <> expected then
+          Alcotest.failf "alu op=%d a=%d b=%d: expected %d got %d" op a b expected result
+      done
+    done
+  done
+
+let test_mux_tree () =
+  let k = 3 in
+  let g = Circuits.Datapath.mux_tree k in
+  let data_count = 1 lsl k in
+  for sel = 0 to data_count - 1 do
+    for data_mask = 0 to (1 lsl data_count) - 1 do
+      let assignment = Array.append (bits_of_int sel k) (bits_of_int data_mask data_count) in
+      let expected = (data_mask lsr sel) land 1 = 1 in
+      if (Aig.eval g assignment).(0) <> expected then
+        Alcotest.failf "mux sel=%d data=%d" sel data_mask
+    done
+  done
+
+(* --- random --- *)
+
+let test_random_aig_shape () =
+  let g = Circuits.Random_aig.generate (Rng.create 3) ~num_inputs:5 ~num_ands:50 ~num_outputs:4 in
+  Aig.check g;
+  Alcotest.(check int) "inputs" 5 (Aig.num_inputs g);
+  Alcotest.(check int) "outputs" 4 (Aig.num_outputs g);
+  Alcotest.(check bool) "ands bounded" true (Aig.num_ands g <= 50);
+  (* determinism *)
+  let g' = Circuits.Random_aig.generate (Rng.create 3) ~num_inputs:5 ~num_ands:50 ~num_outputs:4 in
+  Alcotest.(check string) "deterministic" (Aig.Aiger.to_string g) (Aig.Aiger.to_string g')
+
+(* --- rewrites preserve functions --- *)
+
+let same_function a b =
+  (* Exhaustive comparison; both graphs must have the same interface. *)
+  let n = Aig.num_inputs a in
+  assert (n <= 12);
+  let ok = ref true in
+  for mask = 0 to (1 lsl n) - 1 do
+    let assignment = Array.init n (fun i -> (mask lsr i) land 1 = 1) in
+    if Aig.eval a assignment <> Aig.eval b assignment then ok := false
+  done;
+  !ok
+
+let prop_restructure_preserves =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.nat in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"restructure preserves functions" ~count:40 arb (fun seed ->
+         let rng = Rng.create seed in
+         let g =
+           Circuits.Random_aig.generate (Rng.create (seed + 1)) ~num_inputs:5 ~num_ands:30
+             ~num_outputs:3
+         in
+         let g' = Circuits.Rewrite.restructure ~intensity:1.0 rng g in
+         same_function g g'))
+
+let prop_rebalance_preserves =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.nat in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"rebalance preserves functions" ~count:40 arb (fun seed ->
+         let g =
+           Circuits.Random_aig.generate (Rng.create seed) ~num_inputs:5 ~num_ands:30 ~num_outputs:3
+         in
+         same_function g (Circuits.Rewrite.rebalance `Balanced g)
+         && same_function g (Circuits.Rewrite.rebalance `Left g)))
+
+let prop_double_negate_preserves =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.nat in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"double_negate preserves functions" ~count:40 arb (fun seed ->
+         let g =
+           Circuits.Random_aig.generate (Rng.create seed) ~num_inputs:5 ~num_ands:30 ~num_outputs:3
+         in
+         same_function g (Circuits.Rewrite.double_negate g)))
+
+let test_restructure_changes_structure () =
+  let g = Circuits.Adder.ripple_carry 8 in
+  let g' = Circuits.Rewrite.restructure ~intensity:1.0 (Rng.create 5) g in
+  Alcotest.(check bool) "adds nodes" true (Aig.num_ands g' > Aig.num_ands g)
+
+(* --- suite --- *)
+
+let test_suite_consistency () =
+  List.iter
+    (fun case ->
+      let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
+      Alcotest.(check int)
+        (case.Circuits.Suite.name ^ " inputs agree")
+        (Aig.num_inputs golden) (Aig.num_inputs revised);
+      Alcotest.(check int)
+        (case.Circuits.Suite.name ^ " outputs agree")
+        (Aig.num_outputs golden) (Aig.num_outputs revised))
+    Circuits.Suite.default
+
+let test_suite_find () =
+  Alcotest.(check bool) "find known" true (Circuits.Suite.find "add4-rc-cla" <> None);
+  Alcotest.(check bool) "find unknown" true (Circuits.Suite.find "nope" = None)
+
+let base_suites =
+  [
+    ( "circuits",
+      [
+        Alcotest.test_case "ripple-carry adder" `Quick test_ripple_carry;
+        Alcotest.test_case "carry-lookahead adder" `Quick test_carry_lookahead;
+        Alcotest.test_case "carry-select adder" `Quick test_carry_select;
+        Alcotest.test_case "array multiplier" `Quick test_array_multiplier;
+        Alcotest.test_case "shift-add multiplier" `Quick test_shift_add_multiplier;
+        Alcotest.test_case "equality comparator" `Quick test_equality;
+        Alcotest.test_case "less-than comparator" `Quick test_less_than;
+        Alcotest.test_case "parity" `Quick test_parity;
+        Alcotest.test_case "alu" `Quick test_alu;
+        Alcotest.test_case "mux tree" `Quick test_mux_tree;
+        Alcotest.test_case "random aig shape" `Quick test_random_aig_shape;
+        prop_restructure_preserves;
+        prop_rebalance_preserves;
+        prop_double_negate_preserves;
+        Alcotest.test_case "restructure changes structure" `Quick test_restructure_changes_structure;
+        Alcotest.test_case "suite interface consistency" `Quick test_suite_consistency;
+        Alcotest.test_case "suite find" `Quick test_suite_find;
+      ] );
+  ]
+
+(* --- prefix adders and Booth multiplier --- *)
+
+let test_prefix_adders () =
+  List.iter
+    (fun (name, make) ->
+      List.iter (check_adder name make) [ 1; 2; 3; 5; 8; 13; 16 ])
+    [
+      ("kogge-stone", Circuits.Prefix_adder.kogge_stone);
+      ("brent-kung", Circuits.Prefix_adder.brent_kung);
+      ("sklansky", Circuits.Prefix_adder.sklansky);
+    ]
+
+let test_prefix_depth_advantage () =
+  (* Prefix networks must be shallower than the ripple chain at width
+     32 — the structural property that motivates them. *)
+  let ripple = Circuits.Adder.ripple_carry 32 in
+  List.iter
+    (fun make ->
+      let g = make 32 in
+      Alcotest.(check bool) "shallower than ripple" true (Aig.depth g < Aig.depth ripple))
+    [ Circuits.Prefix_adder.kogge_stone; Circuits.Prefix_adder.sklansky ]
+
+let test_booth () = List.iter (check_multiplier "booth" Circuits.Booth.radix4) [ 1; 2; 3; 4; 5 ]
+
+let test_booth_wide_random () =
+  (* Width 8 against integer multiplication on random operands. *)
+  let g = Circuits.Booth.radix4 8 in
+  let rng = Rng.create 23 in
+  for _ = 1 to 300 do
+    let a = Rng.int rng 256 and b = Rng.int rng 256 in
+    let assignment = Array.append (bits_of_int a 8) (bits_of_int b 8) in
+    let p = int_of_bits (Aig.eval g assignment) in
+    if p <> a * b then Alcotest.failf "booth8: %d * %d = %d (got %d)" a b (a * b) p
+  done
+
+let prefix_suites =
+  [
+    ( "circuits-prefix",
+      [
+        Alcotest.test_case "prefix adders add" `Quick test_prefix_adders;
+        Alcotest.test_case "prefix depth advantage" `Quick test_prefix_depth_advantage;
+        Alcotest.test_case "booth multiplies" `Quick test_booth;
+        Alcotest.test_case "booth width 8 random" `Quick test_booth_wide_random;
+      ] );
+  ]
+
+let suites = base_suites @ prefix_suites
