@@ -9,6 +9,7 @@
 
 module Cec = Cec_core.Cec
 module Sweep = Cec_core.Sweep
+module Parallel = Cec_core.Parallel
 module Simclass = Cec_core.Simclass
 module Pstats = Proof.Pstats
 
@@ -573,6 +574,53 @@ let f8 () =
     ~columns:[ "frames"; "miter ANDs"; "mono ms"; "mono res"; "sweep ms"; "sweep res" ]
     ~rows
 
+(* --- P1: parallel partitioned CEC (domain scaling + stitched proofs) --- *)
+
+let p1 () =
+  let parallel_cfg num_domains = { Parallel.default_config with Parallel.num_domains } in
+  let rows =
+    List.map
+      (fun case ->
+        let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
+        let sweep, sweep_t = check_case sweeping_engine case in
+        let run nd = time (fun () -> Parallel.check ~config:(parallel_cfg nd) golden revised) in
+        let p1r, t1 = run 1 in
+        let _, t2 = run 2 in
+        let _, t4 = run 4 in
+        let stitched =
+          match p1r.Parallel.verdict with
+          | Cec.Equivalent cert -> Pstats.of_root cert.Cec.proof ~root:cert.Cec.root
+          | Cec.Inequivalent _ | Cec.Undecided -> failwith "benchmark case not proved (bug)"
+        in
+        let sweep_res =
+          (let cert = cert_of sweep in
+           Pstats.of_root cert.Cec.proof ~root:cert.Cec.root)
+            .Pstats.resolutions
+        in
+        [
+          case.Circuits.Suite.name;
+          string_of_int (Array.length p1r.Parallel.stats.Parallel.partitions);
+          Tables.fmt_ms sweep_t;
+          Tables.fmt_ms t1;
+          Tables.fmt_ms t2;
+          Tables.fmt_ms t4;
+          Tables.fmt_ratio t1 t4;
+          string_of_int sweep_res;
+          string_of_int stitched.Pstats.resolutions;
+        ])
+      Circuits.Suite.default
+  in
+  Tables.print
+    ~title:
+      "P1: parallel partitioned CEC (per-output jobs, stitched certificate; 1/2/4 domains vs \
+       sequential sweeping)"
+    ~columns:
+      [
+        "case"; "parts"; "seq ms"; "1-dom ms"; "2-dom ms"; "4-dom ms"; "scaling"; "seq res";
+        "stitched res";
+      ]
+    ~rows
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -668,6 +716,7 @@ let experiments =
   [
     ("t1", t1); ("t2", t2); ("t2h", t2h); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6); ("f7", f7); ("f8", f8);
+    ("p1", p1);
   ]
 
 let () =
@@ -683,7 +732,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1, bechamel)\n" name;
           exit 2
         end)
     selected

@@ -11,6 +11,7 @@
 
 module Cec = Cec_core.Cec
 module Sweep = Cec_core.Sweep
+module Parallel = Cec_core.Parallel
 
 (* Netlists are read as BLIF or AIGER depending on the extension. *)
 let read_aiger path =
@@ -130,8 +131,21 @@ let print_cex cex =
   Array.iter (fun b -> print_char (if b then '1' else '0')) cex;
   print_newline ()
 
-let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental proof_out validate
-    =
+let print_partition (p : Parallel.partition) =
+  let status =
+    match p.Parallel.status with
+    | Parallel.Proved -> "proved"
+    | Parallel.Refuted -> "refuted"
+    | Parallel.Gave_up -> "gave-up"
+    | Parallel.Trivial -> "trivial"
+    | Parallel.Shared o -> Printf.sprintf "shared with #%d" o
+  in
+  Format.printf "partition %3d: %-18s (ands=%d, attempts=%d, conflicts=%d, sat_calls=%d)@."
+    p.Parallel.output status p.Parallel.cone_ands p.Parallel.attempts p.Parallel.conflicts
+    p.Parallel.sat_calls
+
+let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs proof_out
+    validate =
   match (read_aiger path_a, read_aiger path_b) with
   | Error msg, _ | _, Error msg ->
     prerr_endline msg;
@@ -142,7 +156,27 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
       prerr_endline msg;
       2
     | Ok engine -> (
-      match Cec.check engine a b with
+      let check () =
+        if jobs <= 1 then Cec.check engine a b
+        else begin
+          let config =
+            { Parallel.default_config with Parallel.num_domains = jobs; engine; budget = max_conflicts }
+          in
+          let par = Parallel.check ~config a b in
+          let stats = par.Parallel.stats in
+          Array.iter print_partition stats.Parallel.partitions;
+          Format.printf "parallel: %d partitions on %d domains, %d round(s)@."
+            (Array.length stats.Parallel.partitions)
+            stats.Parallel.domains stats.Parallel.rounds;
+          {
+            Cec.verdict = par.Parallel.verdict;
+            sweep_stats = None;
+            solver_conflicts = stats.Parallel.conflicts;
+            sat_calls = stats.Parallel.sat_calls;
+          }
+        end
+      in
+      match check () with
       | exception Invalid_argument msg ->
         prerr_endline msg;
         2
@@ -450,6 +484,15 @@ let cec_cmd =
       & info [ "incremental" ]
           ~doc:"One persistent solver with native assumptions instead of a fresh solver per query.")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Partition the miter per output and solve the partitions on $(docv) domains, \
+             stitching the per-partition refutations into one certificate.  1 (default) keeps \
+             the sequential single-miter engine.")
+  in
   Cmd.v
     (Cmd.info "cec" ~doc:"Check two AIGER circuits for equivalence."
        ~man:
@@ -461,7 +504,7 @@ let cec_cmd =
          ])
     Term.(
       const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
-      $ words $ no_lemmas $ budget $ incremental $ proof_out $ validate)
+      $ words $ no_lemmas $ budget $ incremental $ jobs $ proof_out $ validate)
 
 let check_proof_cmd =
   Cmd.v

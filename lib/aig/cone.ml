@@ -22,6 +22,20 @@ let collect seen p =
 let tfi g lits = collect (visit_tfi g lits) (fun n -> n <> 0)
 let tfi_ands g lits = collect (visit_tfi g lits) (Graph.is_and_node g)
 
+let tfi_ands_above g lits ~stop =
+  let seen = Array.make (Graph.num_nodes g) false in
+  let rec visit n =
+    if n <> 0 && not seen.(n) && not (stop n) then begin
+      seen.(n) <- true;
+      if Graph.is_and_node g n then begin
+        visit (Lit.var (Graph.fanin0 g n));
+        visit (Lit.var (Graph.fanin1 g n))
+      end
+    end
+  in
+  List.iter (fun l -> visit (Lit.var l)) lits;
+  collect seen (Graph.is_and_node g)
+
 let support g lits =
   let seen = visit_tfi g lits in
   collect seen (Graph.is_input_node g) |> Array.map (fun n -> n - 1)

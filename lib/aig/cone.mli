@@ -8,6 +8,12 @@ val tfi : Graph.t -> Lit.t list -> int array
 (** Same, restricted to AND nodes, in topological order. *)
 val tfi_ands : Graph.t -> Lit.t list -> int array
 
+(** AND nodes in the transitive fanin of [lits] that lie strictly
+    above the frontier: traversal does not enter (or include) nodes
+    satisfying [stop].  Used by the partitioned checker to isolate the
+    output-combining layer of a miter from the per-output cones. *)
+val tfi_ands_above : Graph.t -> Lit.t list -> stop:(int -> bool) -> int array
+
 (** Primary-input indices (0-based) in the structural support. *)
 val support : Graph.t -> Lit.t list -> int array
 

@@ -14,10 +14,12 @@ let build_common a b =
   let diffs = Array.map2 (Graph.xor_ g) outs_a outs_b in
   (g, diffs)
 
-let build a b =
+let build_detailed a b =
   let g, diffs = build_common a b in
   Graph.add_output g (Graph.or_list g (Array.to_list diffs));
-  g
+  (g, diffs)
+
+let build a b = fst (build_detailed a b)
 
 let build_pairwise a b =
   let g, diffs = build_common a b in

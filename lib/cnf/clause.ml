@@ -31,6 +31,7 @@ let normalize lits =
 
 let of_array lits = normalize (Array.copy lits)
 let of_list lits = normalize (Array.of_list lits)
+let map_lits f c = normalize (Array.map f c)
 let singleton l = [| l |]
 
 let size = Array.length

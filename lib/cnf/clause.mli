@@ -19,6 +19,12 @@ val of_list : Aig.Lit.t list -> t
 val of_array : Aig.Lit.t array -> t
 val singleton : Aig.Lit.t -> t
 
+(** [map_lits f c] applies [f] to every literal and re-canonicalizes.
+    Used to translate clauses between literal numberings (e.g. from an
+    extracted cone back into its source graph).
+    @raise Invalid_argument if the image is a tautology. *)
+val map_lits : (Aig.Lit.t -> Aig.Lit.t) -> t -> t
+
 val size : t -> int
 val mem : Aig.Lit.t -> t -> bool
 val lits : t -> Aig.Lit.t array

@@ -4,4 +4,5 @@
 module Simclass = Simclass
 module Sweep = Sweep
 module Cec = Cec
+module Parallel = Parallel
 module Certify = Certify

@@ -1,0 +1,319 @@
+module Lit = Aig.Lit
+module Clause = Cnf.Clause
+module Formula = Cnf.Formula
+module Solver = Sat.Solver
+module R = Proof.Resolution
+
+type config = {
+  num_domains : int;
+  engine : Cec.engine;
+  budget : int option;
+  escalation : int;
+  max_rounds : int;
+}
+
+let default_config =
+  {
+    num_domains = Domain.recommended_domain_count ();
+    engine = Cec.Sweeping Sweep.default_config;
+    budget = None;
+    escalation = 4;
+    max_rounds = 3;
+  }
+
+type status =
+  | Proved
+  | Refuted
+  | Gave_up
+  | Trivial
+  | Shared of int
+
+type partition = {
+  output : int;
+  cone_ands : int;
+  attempts : int;
+  conflicts : int;
+  sat_calls : int;
+  status : status;
+}
+
+type stats = {
+  partitions : partition array;
+  domains : int;
+  rounds : int;
+  conflicts : int;
+  sat_calls : int;
+}
+
+type report = {
+  verdict : Cec.verdict;
+  stats : stats;
+}
+
+(* One solving job: a distinct disagreement literal and its fanin cone,
+   extracted with the node correspondence needed to re-base the cone's
+   refutation onto the miter's numbering.  Worker domains mutate only
+   their own job; the main domain reads after joining them. *)
+type job = {
+  diff : Lit.t;
+  cone : Aig.t;
+  node_map : int array;
+  covers : int; (* first output index settled by this job *)
+  mutable result : Cec.report option;
+  mutable attempts : int;
+  mutable conflicts : int;
+  mutable sat_calls : int;
+}
+
+(* How each output pair is settled. *)
+type slot =
+  | Slot_trivial (* disagreement literal constant false *)
+  | Slot_static_neq (* disagreement literal constant true *)
+  | Slot_job of job
+
+let attempt engine budget job =
+  let report = Cec.check_miter ?max_conflicts:budget engine job.cone in
+  job.attempts <- job.attempts + 1;
+  job.conflicts <- job.conflicts + report.Cec.solver_conflicts;
+  job.sat_calls <- job.sat_calls + report.Cec.sat_calls;
+  job.result <- Some report
+
+(* Run one attempt on every job, pulling indices from a shared counter
+   (a queue without stealing: jobs are independent, so arrival order
+   cannot influence any result).  Returns the worker count used. *)
+let run_round ~num_domains engine budget jobs =
+  let n = Array.length jobs in
+  if n = 0 then 0
+  else begin
+    let workers = max 1 (min num_domains n) in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let work () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (try attempt engine budget jobs.(i)
+           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
+    work ();
+    Array.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    workers
+  end
+
+let job_undecided job =
+  match job.result with
+  | Some { Cec.verdict = Cec.Undecided; _ } -> true
+  | Some _ -> false
+  | None -> true
+
+let job_refuted job =
+  match job.result with
+  | Some { Cec.verdict = Cec.Inequivalent _; _ } -> true
+  | _ -> false
+
+(* Merge the per-partition refutations into one refutation of the
+   combined miter CNF (see the .mli for the construction). *)
+let stitch miter diffs formula jobs =
+  let s = R.create () in
+  let lemma_root : (Clause.t, R.id) Hashtbl.t = Hashtbl.create 16 in
+  let lemma_order = ref [] in
+  let direct = ref None in
+  List.iter
+    (fun job ->
+      match job.result with
+      | Some { Cec.verdict = Cec.Equivalent cert; _ } when !direct = None ->
+        let map_lit l = Lit.apply_sign (Lit.of_var job.node_map.(Lit.var l)) ~neg:(Lit.is_neg l) in
+        let assumption = Clause.singleton job.diff in
+        let root =
+          R.import_mapped s cert.Cec.proof ~root:cert.Cec.root ~map_lit
+            ~map_leaf:(fun _ c ->
+              if Clause.equal c assumption then R.add_leaf ~assumption:true s c
+              else R.add_leaf s c)
+        in
+        let lifted, lemma = Proof.Lift.refutation s ~root in
+        if Clause.is_empty lemma then
+          (* The partition refuted the definitional clauses alone —
+             impossible for consistent Tseitin cones, but if it ever
+             happens the derivation already refutes the miter CNF. *)
+          direct := Some lifted
+        else if (not (Formula.mem formula lemma)) && not (Hashtbl.mem lemma_root lemma) then begin
+          Hashtbl.replace lemma_root lemma lifted;
+          lemma_order := lemma :: !lemma_order
+        end
+      | _ -> ())
+    jobs;
+  match !direct with
+  | Some root -> ({ Cec.proof = s; root; formula }, 0)
+  | None ->
+    (* Final stitch: the asserted output, the output-combining OR
+       layer above the disagreement nodes, and the per-partition unit
+       lemmas conflict by unit propagation alone.  Importing the tiny
+       refutation with lemma leaves replaced by their derivations
+       yields a proof whose leaves are all original miter clauses. *)
+    let qproof = R.create () in
+    let solver = Solver.create ~proof:qproof () in
+    Solver.ensure_vars solver (Aig.num_nodes miter);
+    Solver.add_clause solver Cnf.Tseitin.constant_unit;
+    let stop = Array.make (Aig.num_nodes miter) false in
+    Array.iter (fun d -> if not (Lit.is_const d) then stop.(Lit.var d) <- true) diffs;
+    let out = Aig.output miter 0 in
+    Array.iter
+      (fun n -> List.iter (Solver.add_clause solver) (Cnf.Tseitin.clauses_of_and miter n))
+      (Aig.Cone.tfi_ands_above miter [ out ] ~stop:(fun n -> stop.(n)));
+    Solver.add_clause solver (Clause.singleton out);
+    List.iter (Solver.add_clause solver) (List.rev !lemma_order);
+    (match Solver.solve solver with
+    | Solver.Unsat root ->
+      let final =
+        R.import s qproof ~root ~map_leaf:(fun _ c ->
+            match Hashtbl.find_opt lemma_root c with
+            | Some id -> id
+            | None -> R.add_leaf s c)
+      in
+      ({ Cec.proof = s; root = final; formula }, Solver.num_conflicts solver)
+    | Solver.Sat _ | Solver.Unknown | Solver.Unsat_assuming _ ->
+      failwith "Parallel.check: final stitch call did not refute (internal error)")
+
+let check ?(config = default_config) a b =
+  let miter, diffs = Aig.Miter.build_detailed a b in
+  let formula = Cnf.Tseitin.miter_formula miter in
+  (* Partition: one slot per output pair, one job per distinct
+     non-constant disagreement literal. *)
+  let job_of_diff : (Lit.t, job) Hashtbl.t = Hashtbl.create 16 in
+  let slots =
+    Array.mapi
+      (fun o diff ->
+        if diff = Lit.false_ then Slot_trivial
+        else if diff = Lit.true_ then Slot_static_neq
+        else
+          match Hashtbl.find_opt job_of_diff diff with
+          | Some job -> Slot_job job
+          | None ->
+            let cone, node_map = Aig.extract_cone_map miter [ diff ] in
+            let job =
+              {
+                diff;
+                cone;
+                node_map;
+                covers = o;
+                result = None;
+                attempts = 0;
+                conflicts = 0;
+                sat_calls = 0;
+              }
+            in
+            Hashtbl.add job_of_diff diff job;
+            Slot_job job)
+      diffs
+  in
+  let jobs =
+    Array.of_list
+      (List.filteri
+         (fun o slot -> match slot with Slot_job j -> j.covers = o | _ -> false)
+         (Array.to_list slots)
+      |> List.map (function Slot_job j -> j | _ -> assert false))
+  in
+  (* Largest cones first: pure scheduling, invisible in the results. *)
+  let schedule = Array.copy jobs in
+  Array.sort
+    (fun x y ->
+      match compare (Aig.num_ands y.cone) (Aig.num_ands x.cone) with
+      | 0 -> compare x.covers y.covers
+      | c -> c)
+    schedule;
+  let num_domains = max 1 config.num_domains in
+  let escalation = max 2 config.escalation in
+  let rounds = ref 0 in
+  let domains_used = ref (if Array.length schedule = 0 then 1 else 0) in
+  let budget_for round =
+    Option.map (fun b -> b * int_of_float (float_of_int escalation ** float_of_int round)) config.budget
+  in
+  let pending = ref schedule in
+  let continue = ref (Array.length schedule > 0) in
+  while !continue do
+    let budget = budget_for !rounds in
+    let used = run_round ~num_domains config.engine budget !pending in
+    domains_used := max !domains_used used;
+    incr rounds;
+    let undecided = Array.of_list (List.filter job_undecided (Array.to_list !pending)) in
+    pending := undecided;
+    continue :=
+      Array.length undecided > 0
+      && budget <> None
+      && !rounds < max 1 config.max_rounds
+      && not (Array.exists job_refuted jobs)
+  done;
+  (* Aggregate in output order — completion order is irrelevant. *)
+  let partitions =
+    Array.mapi
+      (fun o slot ->
+        match slot with
+        | Slot_trivial ->
+          { output = o; cone_ands = 0; attempts = 0; conflicts = 0; sat_calls = 0; status = Trivial }
+        | Slot_static_neq ->
+          { output = o; cone_ands = 0; attempts = 0; conflicts = 0; sat_calls = 0; status = Refuted }
+        | Slot_job job ->
+          let status =
+            match job.result with
+            | Some { Cec.verdict = Cec.Equivalent _; _ } -> Proved
+            | Some { Cec.verdict = Cec.Inequivalent _; _ } -> Refuted
+            | Some { Cec.verdict = Cec.Undecided; _ } | None -> Gave_up
+          in
+          if job.covers = o then
+            {
+              output = o;
+              cone_ands = Aig.num_ands job.cone;
+              attempts = job.attempts;
+              conflicts = job.conflicts;
+              sat_calls = job.sat_calls;
+              status;
+            }
+          else
+            {
+              output = o;
+              cone_ands = Aig.num_ands job.cone;
+              attempts = 0;
+              conflicts = 0;
+              sat_calls = 0;
+              status = (match status with Refuted -> Refuted | Gave_up -> Gave_up | _ -> Shared job.covers);
+            })
+      slots
+  in
+  let witness = function
+    | Slot_static_neq -> Some (Array.make (Aig.num_inputs miter) false)
+    | Slot_job { result = Some { Cec.verdict = Cec.Inequivalent cex; _ }; _ } -> Some cex
+    | _ -> None
+  in
+  let first_cex = Array.to_list slots |> List.find_map witness in
+  let gave_up =
+    Array.exists (fun p -> match p.status with Gave_up -> true | _ -> false) partitions
+  in
+  let base_conflicts = Array.fold_left (fun acc j -> acc + j.conflicts) 0 jobs in
+  let base_calls = Array.fold_left (fun acc j -> acc + j.sat_calls) 0 jobs in
+  let verdict, extra_conflicts, extra_calls =
+    match first_cex with
+    | Some cex -> (Cec.Inequivalent cex, 0, 0)
+    | None ->
+      if gave_up then (Cec.Undecided, 0, 0)
+      else begin
+        let cert, stitch_conflicts = stitch miter diffs formula (Array.to_list jobs) in
+        (Cec.Equivalent cert, stitch_conflicts, 1)
+      end
+  in
+  {
+    verdict;
+    stats =
+      {
+        partitions;
+        domains = !domains_used;
+        rounds = !rounds;
+        conflicts = base_conflicts + extra_conflicts;
+        sat_calls = base_calls + extra_calls;
+      };
+  }

@@ -1,0 +1,81 @@
+(** Parallel partitioned CEC with a stitched certificate.
+
+    The check is split along the miter's per-output disagreement
+    literals: each output pair becomes an independent job over its own
+    fanin cone, the jobs run on a bounded pool of OCaml domains, and —
+    when every partition is proved — the per-partition refutations are
+    recombined into {e one} resolution refutation of the combined
+    single-output miter CNF, exactly the certificate the sequential
+    engines emit.  {!Proof.Checker.check} (and {!Certify}) accept the
+    stitched result unchanged.
+
+    Stitching works like the sweeping engine's lemma mechanism, lifted
+    to partition granularity: partition [o]'s refutation of
+    [cone CNF ∧ (d_o)] is re-based onto the miter's numbering
+    ({!Proof.Resolution.import_mapped}), its output unit is turned into
+    an assumption and lifted away ({!Proof.Lift}), leaving a derivation
+    of the unit lemma [(¬d_o)] from miter clauses alone; a final
+    trivial SAT call then refutes the asserted miter output from those
+    lemmas and the output-combining OR layer, and importing it — lemma
+    leaves replaced by their derivations — closes the proof.
+
+    Results are deterministic: jobs are solved independently with
+    deterministic engines and merged in output order, so verdict and
+    stitched proof are identical for every [num_domains]. *)
+
+type config = {
+  num_domains : int;  (** worker domains (clamped to at least 1) *)
+  engine : Cec.engine;  (** per-partition decision engine *)
+  budget : int option;
+      (** initial per-partition conflict budget; [None] = one
+          unbudgeted attempt per partition *)
+  escalation : int;  (** budget multiplier between retry rounds *)
+  max_rounds : int;
+      (** total budgeted attempts per partition before giving up *)
+}
+
+(** Sweeping partitions on [Domain.recommended_domain_count] domains,
+    no budget ([max_rounds] irrelevant until a budget is set). *)
+val default_config : config
+
+type status =
+  | Proved  (** partition refuted: the output pair is equivalent *)
+  | Refuted  (** counterexample found *)
+  | Gave_up  (** conflict budget exhausted in every round *)
+  | Trivial  (** structurally settled, no SAT work *)
+  | Shared of int
+      (** same disagreement cone as the given earlier output; solved
+          once, cost attributed to that partition *)
+
+type partition = {
+  output : int;  (** output-pair index *)
+  cone_ands : int;  (** AND nodes in the partition's fanin cone *)
+  attempts : int;  (** budgeted attempts used *)
+  conflicts : int;
+  sat_calls : int;
+  status : status;
+}
+
+type stats = {
+  partitions : partition array;  (** one per output pair, in order *)
+  domains : int;  (** worker domains actually used *)
+  rounds : int;  (** scheduling rounds executed (>= 1 with any job) *)
+  conflicts : int;  (** total, including the final stitch call *)
+  sat_calls : int;
+}
+
+type report = {
+  verdict : Cec.verdict;
+  stats : stats;
+}
+
+(** Check two circuits with the same interface.  [Equivalent]
+    certificates refute the combined miter CNF
+    ({!Cnf.Tseitin.miter_formula} of {!Aig.Miter.build}), so
+    {!Certify.validate_against} applies as-is.  An [Inequivalent]
+    witness is the lowest-indexed differing output's counterexample.
+    The verdict is [Undecided] only when some partition stayed
+    undecided after [max_rounds] budget escalations and no partition
+    was refuted.
+    @raise Invalid_argument if interfaces differ. *)
+val check : ?config:config -> Aig.t -> Aig.t -> report
