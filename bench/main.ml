@@ -621,6 +621,73 @@ let p1 () =
       ]
     ~rows
 
+(* --- P2: certificate store, cold solve vs warm hit --- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+let p2 () =
+  let dir = Filename.temp_file "cecd-bench" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let store = Service.Store.create ~dir () in
+  let engine = Service.Engine.default_config in
+  let rows =
+    List.map
+      (fun case ->
+        let golden = Service.Key.normalize (case.Circuits.Suite.golden ()) in
+        let revised = Service.Key.normalize (case.Circuits.Suite.revised ()) in
+        let key = Service.Key.of_pair golden revised in
+        (* Cold: the full service path on an empty store — miss, solve,
+           persist the certificate. *)
+        let result, cold_t =
+          time (fun () ->
+              match Service.Store.find store key ~golden ~revised with
+              | Some _ -> failwith "store not cold (bug)"
+              | None ->
+                let result = Service.Engine.solve engine golden revised in
+                Service.Store.store store key result.Service.Engine.verdict;
+                result)
+        in
+        (* Warm: the same request again — load, reparse and (paranoid
+           mode) re-validate the stored certificate. *)
+        let reloaded, warm_t = time (fun () -> Service.Store.find store key ~golden ~revised) in
+        let status =
+          match reloaded with
+          | Some (Cec.Equivalent _) -> "equivalent"
+          | Some (Cec.Inequivalent _) -> "inequivalent"
+          | Some Cec.Undecided | None -> "MISS (bug)"
+        in
+        let bytes =
+          match Unix.stat (Service.Store.entry_path store key) with
+          | { Unix.st_size; _ } -> st_size
+          | exception Unix.Unix_error _ -> 0
+        in
+        [
+          case.Circuits.Suite.name;
+          Tables.fmt_ms cold_t;
+          Tables.fmt_ms warm_t;
+          Tables.fmt_ratio cold_t warm_t;
+          status;
+          string_of_int bytes;
+          string_of_int result.Service.Engine.conflicts;
+        ])
+      Circuits.Suite.default
+  in
+  Tables.print
+    ~title:
+      "P2: certificate store, cold solve vs warm paranoid hit (find+solve+store vs \
+       find+reparse+revalidate)"
+    ~columns:[ "case"; "cold ms"; "warm ms"; "speedup"; "status"; "cert bytes"; "conflicts" ]
+    ~rows;
+  Format.printf "store: %a@." Service.Store.pp_stats (Service.Store.stats store)
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -717,6 +784,7 @@ let experiments =
     ("t1", t1); ("t2", t2); ("t2h", t2h); ("t3", t3); ("t4", t4); ("t5", t5);
     ("t6", t6); ("t7", t7); ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6); ("f7", f7); ("f8", f8);
     ("p1", p1);
+    ("p2", p2);
   ]
 
 let () =
@@ -732,7 +800,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1, p2, bechamel)\n" name;
           exit 2
         end)
     selected

@@ -7,7 +7,10 @@
      dimacs      export a single-output miter's CNF in DIMACS
      cec         check two AIGER files for equivalence (with proofs)
      check-proof validate a resolution trace against a miter
-     suite       list the built-in benchmark suite *)
+     suite       list the built-in benchmark suite
+     serve       run the certification daemon over a Unix socket
+     client      submit one request to a running daemon
+     batch       run a manifest of pairs against a store, no daemon *)
 
 module Cec = Cec_core.Cec
 module Sweep = Cec_core.Sweep
@@ -43,23 +46,29 @@ let circuit_of_spec spec =
           eq:8, lt:8, parity:16, alu:8, mux:4, rand:16:300:8)"
          spec)
   in
-  match String.split_on_char ':' spec with
-  | [ "add-rc"; n ] -> Ok (Circuits.Adder.ripple_carry (int_of_string n))
-  | [ "add-cla"; n ] -> Ok (Circuits.Adder.carry_lookahead (int_of_string n))
-  | [ "add-csel"; n ] -> Ok (Circuits.Adder.carry_select (int_of_string n))
-  | [ "mul-arr"; n ] -> Ok (Circuits.Multiplier.array (int_of_string n))
-  | [ "mul-sa"; n ] -> Ok (Circuits.Multiplier.shift_add (int_of_string n))
-  | [ "eq"; n ] -> Ok (Circuits.Datapath.equality (int_of_string n))
-  | [ "lt"; n ] -> Ok (Circuits.Datapath.less_than (int_of_string n))
-  | [ "parity"; n ] -> Ok (Circuits.Datapath.parity (int_of_string n))
-  | [ "alu"; n ] -> Ok (Circuits.Datapath.alu (int_of_string n))
-  | [ "mux"; n ] -> Ok (Circuits.Datapath.mux_tree (int_of_string n))
-  | [ "rand"; inputs; ands; outputs ] ->
-    Ok
-      (Circuits.Random_aig.generate (Support.Rng.create 11)
-         ~num_inputs:(int_of_string inputs) ~num_ands:(int_of_string ands)
-         ~num_outputs:(int_of_string outputs))
-  | _ -> fail ()
+  (* Sizes are parsed with [int_of_string_opt] so that a malformed spec
+     like add-rc:x reports the usage hint instead of an uncaught
+     [int_of_string] exception. *)
+  let exception Bad_size in
+  let size s = match int_of_string_opt s with Some n -> n | None -> raise Bad_size in
+  try
+    match String.split_on_char ':' spec with
+    | [ "add-rc"; n ] -> Ok (Circuits.Adder.ripple_carry (size n))
+    | [ "add-cla"; n ] -> Ok (Circuits.Adder.carry_lookahead (size n))
+    | [ "add-csel"; n ] -> Ok (Circuits.Adder.carry_select (size n))
+    | [ "mul-arr"; n ] -> Ok (Circuits.Multiplier.array (size n))
+    | [ "mul-sa"; n ] -> Ok (Circuits.Multiplier.shift_add (size n))
+    | [ "eq"; n ] -> Ok (Circuits.Datapath.equality (size n))
+    | [ "lt"; n ] -> Ok (Circuits.Datapath.less_than (size n))
+    | [ "parity"; n ] -> Ok (Circuits.Datapath.parity (size n))
+    | [ "alu"; n ] -> Ok (Circuits.Datapath.alu (size n))
+    | [ "mux"; n ] -> Ok (Circuits.Datapath.mux_tree (size n))
+    | [ "rand"; inputs; ands; outputs ] ->
+      Ok
+        (Circuits.Random_aig.generate (Support.Rng.create 11) ~num_inputs:(size inputs)
+           ~num_ands:(size ands) ~num_outputs:(size outputs))
+    | _ -> fail ()
+  with Bad_size -> fail ()
 
 let apply_rewrite g = function
   | None -> g
@@ -214,15 +223,21 @@ let run_check_proof miter_path trace_path =
     prerr_endline msg;
     2
   | Ok miter -> (
-    let text =
-      let ic = open_in trace_path in
-      Fun.protect
-        ~finally:(fun () -> close_in ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
+    match In_channel.with_open_bin trace_path In_channel.input_all with
+    | exception Sys_error msg ->
+      prerr_endline msg;
+      2
+    | text -> (
+    (* A malformed trace must exit cleanly (code 2) with a parse-error
+       message, never an uncaught exception: [trace_of_string] raises
+       [Failure] on syntax errors and [Invalid_argument] on dangling
+       antecedent ids. *)
     match Proof.Export.trace_of_string text with
     | exception Failure msg ->
-      prerr_endline msg;
+      Printf.eprintf "%s: parse error: %s\n" trace_path msg;
+      2
+    | exception Invalid_argument msg ->
+      Printf.eprintf "%s: parse error: %s\n" trace_path msg;
       2
     | proof, root -> (
       match Cnf.Tseitin.miter_formula miter with
@@ -236,7 +251,7 @@ let run_check_proof miter_path trace_path =
           0
         | Error e ->
           Format.printf "REJECTED: %a@." Proof.Checker.pp_error e;
-          3)))
+          3))))
 
 let run_fraig path words output =
   match read_aiger path with
@@ -398,6 +413,89 @@ let run_bmc path frames engine_name incremental =
       | Cec.Undecided ->
         print_endline "UNDECIDED";
         4))
+
+(* --- certification service (lib/service) --- *)
+
+let mb_to_bytes = Option.map (fun mb -> mb * 1024 * 1024)
+
+let service_engine jobs budget =
+  let base = { Service.Engine.default_config with Service.Engine.jobs } in
+  match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
+
+let run_serve socket store capacity_mb no_paranoid workers queue jobs budget timeout_ms quiet =
+  let cfg =
+    {
+      (Service.Server.default_config ~socket_path:socket ~store_dir:store) with
+      Service.Server.store_capacity = mb_to_bytes capacity_mb;
+      paranoid = not no_paranoid;
+      workers;
+      queue_capacity = queue;
+      engine = service_engine jobs budget;
+      default_timeout_ms = timeout_ms;
+      log = not quiet;
+    }
+  in
+  match Service.Server.run cfg with
+  | _ -> 0
+  | exception Failure msg ->
+    prerr_endline msg;
+    2
+  | exception Unix.Unix_error (e, fn, arg) ->
+    Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
+    2
+
+let run_client socket ping stats shutdown timeout_ms golden revised =
+  let send req =
+    match Service.Server.request ~socket_path:socket (Service.Protocol.print_request req) with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok line ->
+      print_endline line;
+      (match Service.Protocol.field "error" line with
+      | Some _ -> 2
+      | None -> (
+        match Service.Protocol.field "status" line with
+        | Some "equivalent" -> 0
+        | Some "inequivalent" -> 1
+        | Some "undecided" | Some "timeout" -> 4
+        | _ -> 0))
+  in
+  if ping then send Service.Protocol.Ping
+  else if stats then send Service.Protocol.Stats
+  else if shutdown then send Service.Protocol.Shutdown
+  else
+    match (golden, revised) with
+    | Some golden, Some revised -> send (Service.Protocol.Check { golden; revised; timeout_ms })
+    | _ ->
+      prerr_endline "client: expected GOLDEN and REVISED paths (or --ping/--stats/--shutdown)";
+      2
+
+let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms =
+  match Service.Batch.parse_manifest manifest with
+  | Error msg ->
+    prerr_endline msg;
+    2
+  | Ok pairs ->
+    let store =
+      Service.Store.create ?capacity_bytes:(mb_to_bytes capacity_mb) ~paranoid:(not no_paranoid)
+        ~dir:store_dir ()
+    in
+    let on_result (r : Service.Batch.line_result) =
+      Format.printf "%-12s %s%s %s %s%s@." r.Service.Batch.status
+        (if r.Service.Batch.cached then "[hit] " else "")
+        r.Service.Batch.golden_path r.Service.Batch.revised_path
+        (Printf.sprintf "(%.1f ms)" r.Service.Batch.ms)
+        (if r.Service.Batch.detail = "" then "" else " " ^ r.Service.Batch.detail)
+    in
+    let s = Service.Batch.run ~store ~engine:(service_engine jobs budget) ?timeout_ms ~on_result pairs in
+    Service.Store.flush store;
+    Format.printf "batch: %d pairs, %d hits, %d proved, %d cex, %d undecided, %d errors in %.1f ms@."
+      s.Service.Batch.total s.Service.Batch.hits s.Service.Batch.proved
+      s.Service.Batch.counterexamples s.Service.Batch.undecided s.Service.Batch.errors
+      s.Service.Batch.ms;
+    Format.printf "store: %a@." Service.Store.pp_stats (Service.Store.stats store);
+    if s.Service.Batch.errors > 0 then 2 else 0
 
 let run_suite () =
   List.iter
@@ -586,10 +684,117 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"List the built-in benchmark suite with miter sizes.")
     Term.(const run_suite $ const ())
 
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let store_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR" ~doc:"Certificate store directory (created if absent).")
+
+let capacity_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "capacity-mb" ] ~docv:"MB"
+        ~doc:"Store size cap in MiB; least-recently-used certificates are evicted beyond it.")
+
+let no_paranoid_arg =
+  Arg.(
+    value & flag
+    & info [ "no-paranoid" ]
+        ~doc:"Trust stored certificates without re-validating them against a rebuilt miter.")
+
+let service_jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Solver domains per request (the parallel pool size).")
+
+let service_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-conflicts" ] ~docv:"N"
+        ~doc:"Initial per-partition conflict budget (escalated geometrically between rounds).")
+
+let timeout_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "timeout-ms" ] ~docv:"MS" ~doc:"Per-request deadline in milliseconds.")
+
+let serve_cmd =
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc:"Worker domains consuming the queue.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Bounded queue capacity; further requests are bounced.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-request logging to stderr.") in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Run the certification daemon over a Unix domain socket."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Answers line-delimited requests (see $(b,client)) from a persistent \
+              content-addressed certificate store, solving misses on the parallel engine.  \
+              SIGINT/SIGTERM or a $(b,shutdown) request drains the queue, persists the store \
+              index and exits.";
+         ])
+    Term.(
+      const run_serve $ socket_arg $ store_arg $ capacity_arg $ no_paranoid_arg $ workers $ queue
+      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ quiet)
+
+let client_cmd =
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
+  let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Fetch metrics and store counters as JSON.") in
+  let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.") in
+  let golden = Arg.(value & pos 0 (some string) None & info [] ~docv:"GOLDEN" ~doc:"Golden netlist path (as seen by the daemon).") in
+  let revised = Arg.(value & pos 1 (some string) None & info [] ~docv:"REVISED" ~doc:"Revised netlist path (as seen by the daemon).") in
+  Cmd.v
+    (Cmd.info "client" ~doc:"Submit one request to a running certification daemon."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Prints the daemon's one-line JSON response.  Exit codes mirror $(b,cec): 0 \
+              equivalent, 1 inequivalent, 2 error, 4 undecided or timed out.";
+         ])
+    Term.(const run_client $ socket_arg $ ping $ stats $ shutdown $ timeout_ms_arg $ golden $ revised)
+
+let batch_cmd =
+  let manifest =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST"
+          ~doc:"Manifest file: one \"GOLDEN REVISED\" pair per line, # comments allowed; relative \
+                paths resolve against the manifest's directory.")
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Check a manifest of pairs against a certificate store, no daemon."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Offline mode: shares the store format with $(b,serve), so a batch run warms the \
+              cache for a later daemon (and vice versa).";
+         ])
+    Term.(
+      const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ service_jobs_arg
+      $ service_budget_arg $ timeout_ms_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "cec_tool" ~version:"1.0.0"
        ~doc:"Combinational equivalence checking with resolution proofs.")
-    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd ]
+    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd; serve_cmd; client_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

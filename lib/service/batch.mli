@@ -1,0 +1,39 @@
+(** Offline batch mode: run many pairs through store + engine without
+    the socket — same caching, same escalation and deadlines, no
+    daemon.  This is how a build system or CI step pre-warms a store
+    (or consumes one) from a manifest file. *)
+
+type line_result = {
+  golden_path : string;
+  revised_path : string;
+  status : string;  (** equivalent | inequivalent | undecided | timeout | error *)
+  cached : bool;
+  ms : float;
+  detail : string;  (** error message or counterexample bits; "" otherwise *)
+}
+
+type summary = {
+  total : int;
+  hits : int;
+  proved : int;
+  counterexamples : int;
+  undecided : int;  (** includes timeouts *)
+  errors : int;
+  ms : float;  (** wall time over the whole batch *)
+}
+
+(** Parse a manifest: one "GOLDEN REVISED" pair of netlist paths per
+    line, blank lines and [#] comments ignored.  Relative paths are
+    resolved against the manifest's own directory. *)
+val parse_manifest : string -> ((string * string) list, string) result
+
+(** Run every pair through the store (then the engine on a miss),
+    invoking [on_result] per pair in order.  [timeout_ms] is a
+    per-pair deadline. *)
+val run :
+  store:Store.t ->
+  engine:Engine.config ->
+  ?timeout_ms:int ->
+  ?on_result:(line_result -> unit) ->
+  (string * string) list ->
+  summary

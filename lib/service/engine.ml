@@ -1,0 +1,66 @@
+module Cec = Cec_core.Cec
+module Sweep = Cec_core.Sweep
+module Parallel = Cec_core.Parallel
+
+type config = {
+  jobs : int;
+  engine : Cec.engine;
+  budget : int option;
+  escalation : int;
+  max_rounds : int;
+}
+
+let default_config =
+  {
+    jobs = 1;
+    engine = Cec.Sweeping Sweep.default_config;
+    budget = Some 50_000;
+    escalation = 4;
+    max_rounds = 4;
+  }
+
+type result = {
+  verdict : Cec.verdict;
+  conflicts : int;
+  sat_calls : int;
+  rounds : int;
+  timed_out : bool;
+}
+
+let solve ?deadline config golden revised =
+  let expired () =
+    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+  in
+  let escalation = max 2 config.escalation in
+  let max_rounds = max 1 config.max_rounds in
+  let conflicts = ref 0 and sat_calls = ref 0 and rounds = ref 0 in
+  let finish verdict timed_out =
+    { verdict; conflicts = !conflicts; sat_calls = !sat_calls; rounds = !rounds; timed_out }
+  in
+  let rec round n budget =
+    if expired () then finish Cec.Undecided true
+    else begin
+      let pconfig =
+        {
+          Parallel.num_domains = max 1 config.jobs;
+          engine = config.engine;
+          budget;
+          escalation;
+          max_rounds = 1;
+        }
+      in
+      let report = Parallel.check ~config:pconfig golden revised in
+      incr rounds;
+      conflicts := !conflicts + report.Parallel.stats.Parallel.conflicts;
+      sat_calls := !sat_calls + report.Parallel.stats.Parallel.sat_calls;
+      match report.Parallel.verdict with
+      | (Cec.Equivalent _ | Cec.Inequivalent _) as verdict -> finish verdict false
+      | Cec.Undecided -> (
+        match budget with
+        | None -> finish Cec.Undecided false
+        | Some b ->
+          if n + 1 >= max_rounds then finish Cec.Undecided false
+          else round (n + 1) (Some (b * escalation)))
+    end
+  in
+  round 0 config.budget

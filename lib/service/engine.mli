@@ -1,0 +1,45 @@
+(** The service's decision procedure: requests are dispatched onto the
+    partitioned {!Cec_core.Parallel} domain pool, one scheduling round
+    at a time, with the conflict budget escalated geometrically between
+    rounds and a per-request deadline checked at every round boundary.
+
+    A round is one [Parallel.check] call with [max_rounds = 1]; keeping
+    the rounds out here (instead of letting [Parallel] escalate
+    internally) is what makes deadlines enforceable: an expired
+    deadline between rounds aborts with a timeout instead of burning
+    the remaining budget.  The trade-off is that partitions settled in
+    an earlier round are re-solved in later ones; budgets grow
+    geometrically, so the waste is bounded by a constant factor.
+
+    With [budget = None] the single round runs unbudgeted — it always
+    decides, but a deadline can then only be enforced before it
+    starts. *)
+
+type config = {
+  jobs : int;  (** worker domains per solve (the [Parallel] pool size) *)
+  engine : Cec_core.Cec.engine;  (** per-partition decision engine *)
+  budget : int option;
+      (** initial per-partition conflict budget; [None] = one
+          unbudgeted round *)
+  escalation : int;  (** budget multiplier between rounds (min 2) *)
+  max_rounds : int;  (** budgeted rounds before giving up (min 1) *)
+}
+
+(** Sweeping partitions, one domain, 50k initial conflicts, 4x
+    escalation over at most 4 rounds. *)
+val default_config : config
+
+type result = {
+  verdict : Cec_core.Cec.verdict;
+  conflicts : int;  (** total across all rounds *)
+  sat_calls : int;
+  rounds : int;  (** rounds actually executed *)
+  timed_out : bool;  (** [Undecided] because the deadline expired *)
+}
+
+(** [solve ?deadline config golden revised] decides the pair.
+    [deadline] is an absolute [Unix.gettimeofday] instant; when it has
+    passed before any round starts, the result is an immediate
+    [Undecided] with [timed_out = true] and no work done.
+    @raise Invalid_argument if the interfaces differ. *)
+val solve : ?deadline:float -> config -> Aig.t -> Aig.t -> result

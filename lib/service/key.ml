@@ -1,0 +1,22 @@
+type t = string
+
+let format_version = 1
+
+let normalize = Aig.cleanup
+
+let of_pair a b =
+  let a = normalize a and b = normalize b in
+  let payload =
+    Printf.sprintf "cecproof-key %d\n%s\n--\n%s" format_version (Aig.Aiger.to_string a)
+      (Aig.Aiger.to_string b)
+  in
+  Digest.to_hex (Digest.string payload)
+
+let to_hex k = k
+
+let is_hex_char c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let of_hex s = if String.length s = 32 && String.for_all is_hex_char s then Some s else None
+
+let equal = String.equal
+let pp fmt k = Format.pp_print_string fmt k

@@ -1,0 +1,143 @@
+type outcome =
+  | Proved
+  | Counterexample
+  | Undecided
+  | Timeout
+
+type latency = {
+  count : int;
+  total_ms : float;
+  max_ms : float;
+}
+
+type snapshot = {
+  requests : int;
+  proved : int;
+  counterexamples : int;
+  undecided : int;
+  timeouts : int;
+  hits : int;
+  misses : int;
+  cancelled : int;
+  rejected : int;
+  errors : int;
+  hit_latency : latency;
+  solve_latency : latency;
+}
+
+type agg = {
+  mutable n : int;
+  mutable total : float;
+  mutable max : float;
+}
+
+type t = {
+  mutable requests : int;
+  mutable proved : int;
+  mutable counterexamples : int;
+  mutable undecided : int;
+  mutable timeouts : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable cancelled : int;
+  mutable rejected : int;
+  mutable errors : int;
+  hit_ms : agg;
+  solve_ms : agg;
+  lock : Mutex.t;
+}
+
+let create () =
+  {
+    requests = 0;
+    proved = 0;
+    counterexamples = 0;
+    undecided = 0;
+    timeouts = 0;
+    hits = 0;
+    misses = 0;
+    cancelled = 0;
+    rejected = 0;
+    errors = 0;
+    hit_ms = { n = 0; total = 0.0; max = 0.0 };
+    solve_ms = { n = 0; total = 0.0; max = 0.0 };
+    lock = Mutex.create ();
+  }
+
+let with_lock t f = Mutex.protect t.lock f
+
+let incr_requests t = with_lock t (fun () -> t.requests <- t.requests + 1)
+
+let observe agg ms =
+  agg.n <- agg.n + 1;
+  agg.total <- agg.total +. ms;
+  if ms > agg.max then agg.max <- ms
+
+let record t outcome ~cached ~ms =
+  with_lock t (fun () ->
+      (match outcome with
+      | Proved -> t.proved <- t.proved + 1
+      | Counterexample -> t.counterexamples <- t.counterexamples + 1
+      | Undecided -> t.undecided <- t.undecided + 1
+      | Timeout -> t.timeouts <- t.timeouts + 1);
+      if cached then begin
+        t.hits <- t.hits + 1;
+        observe t.hit_ms ms
+      end
+      else begin
+        t.misses <- t.misses + 1;
+        observe t.solve_ms ms
+      end)
+
+let record_cancelled t = with_lock t (fun () -> t.cancelled <- t.cancelled + 1)
+let record_rejected t = with_lock t (fun () -> t.rejected <- t.rejected + 1)
+let record_error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+
+let snapshot t =
+  with_lock t (fun () ->
+      {
+        requests = t.requests;
+        proved = t.proved;
+        counterexamples = t.counterexamples;
+        undecided = t.undecided;
+        timeouts = t.timeouts;
+        hits = t.hits;
+        misses = t.misses;
+        cancelled = t.cancelled;
+        rejected = t.rejected;
+        errors = t.errors;
+        hit_latency = { count = t.hit_ms.n; total_ms = t.hit_ms.total; max_ms = t.hit_ms.max };
+        solve_latency =
+          { count = t.solve_ms.n; total_ms = t.solve_ms.total; max_ms = t.solve_ms.max };
+      })
+
+let avg (l : latency) = if l.count = 0 then 0.0 else l.total_ms /. float_of_int l.count
+
+let fields (s : snapshot) =
+  Protocol.
+    [
+      ("requests", Int s.requests);
+      ("proved", Int s.proved);
+      ("counterexamples", Int s.counterexamples);
+      ("undecided", Int s.undecided);
+      ("timeouts", Int s.timeouts);
+      ("store_hits", Int s.hits);
+      ("store_misses", Int s.misses);
+      ("cancelled", Int s.cancelled);
+      ("rejected", Int s.rejected);
+      ("errors", Int s.errors);
+      ("hit_ms_avg", Float (avg s.hit_latency));
+      ("hit_ms_max", Float s.hit_latency.max_ms);
+      ("solve_ms_avg", Float (avg s.solve_latency));
+      ("solve_ms_max", Float s.solve_latency.max_ms);
+    ]
+
+let to_json s = Protocol.to_json (fields s)
+
+let pp fmt (s : snapshot) =
+  Format.fprintf fmt
+    "requests=%d proved=%d cex=%d undecided=%d timeouts=%d hits=%d misses=%d cancelled=%d \
+     rejected=%d errors=%d | hit avg %.2fms max %.2fms | solve avg %.2fms max %.2fms"
+    s.requests s.proved s.counterexamples s.undecided s.timeouts s.hits s.misses s.cancelled
+    s.rejected s.errors (avg s.hit_latency) s.hit_latency.max_ms (avg s.solve_latency)
+    s.solve_latency.max_ms

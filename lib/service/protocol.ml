@@ -1,0 +1,137 @@
+type json =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Printf.bprintf buf "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_json fields =
+  let buf = Buffer.create 128 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (name, value) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '"';
+      escape_into buf name;
+      Buffer.add_string buf "\":";
+      match value with
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int n -> Buffer.add_string buf (string_of_int n)
+      | Float f -> Printf.bprintf buf "%.3f" f
+      | String s ->
+        Buffer.add_char buf '"';
+        escape_into buf s;
+        Buffer.add_char buf '"')
+    fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Undo [escape_into] (sufficient for strings we emitted ourselves;
+   \uXXXX is decoded only for the control range we produce). *)
+let unescape s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    (if s.[!i] = '\\' && !i + 1 < n then begin
+       (match s.[!i + 1] with
+       | 'n' -> Buffer.add_char buf '\n'
+       | 'r' -> Buffer.add_char buf '\r'
+       | 't' -> Buffer.add_char buf '\t'
+       | 'u' when !i + 5 < n ->
+         (match int_of_string_opt ("0x" ^ String.sub s (!i + 2) 4) with
+         | Some code when code < 256 ->
+           Buffer.add_char buf (Char.chr code);
+           i := !i + 4
+         | Some _ | None -> Buffer.add_string buf "\\u")
+       | c -> Buffer.add_char buf c);
+       i := !i + 2
+     end
+     else begin
+       Buffer.add_char buf s.[!i];
+       incr i
+     end)
+  done;
+  Buffer.contents buf
+
+let field name line =
+  let pattern = Printf.sprintf "\"%s\":" name in
+  let plen = String.length pattern and n = String.length line in
+  let rec search i =
+    if i + plen > n then None
+    else if String.sub line i plen = pattern then Some (i + plen)
+    else search (i + 1)
+  in
+  match search 0 with
+  | None -> None
+  | Some start ->
+    if start < n && line.[start] = '"' then begin
+      (* String value: scan to the next unescaped quote. *)
+      let rec close i =
+        if i >= n then None
+        else if line.[i] = '\\' then close (i + 2)
+        else if line.[i] = '"' then Some i
+        else close (i + 1)
+      in
+      match close (start + 1) with
+      | None -> None
+      | Some stop -> Some (unescape (String.sub line (start + 1) (stop - start - 1)))
+    end
+    else begin
+      let stop = ref start in
+      while !stop < n && line.[!stop] <> ',' && line.[!stop] <> '}' do incr stop done;
+      Some (String.trim (String.sub line start (!stop - start)))
+    end
+
+let error_response msg = to_json [ ("error", String msg) ]
+
+type request =
+  | Check of {
+      golden : string;
+      revised : string;
+      timeout_ms : int option;
+    }
+  | Stats
+  | Ping
+  | Shutdown
+
+let parse_request line =
+  let words =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ "stats" ] -> Ok Stats
+  | [ "ping" ] -> Ok Ping
+  | [ "shutdown" ] -> Ok Shutdown
+  | "check" :: golden :: revised :: rest -> (
+    match rest with
+    | [] -> Ok (Check { golden; revised; timeout_ms = None })
+    | [ ms ] -> (
+      match int_of_string_opt ms with
+      | Some ms when ms >= 0 -> Ok (Check { golden; revised; timeout_ms = Some ms })
+      | Some _ | None -> Error (Printf.sprintf "check: bad timeout %S" ms))
+    | _ -> Error "check: too many arguments (check GOLDEN REVISED [TIMEOUT_MS])")
+  | "check" :: _ -> Error "check: expected two netlist paths"
+  | cmd :: _ -> Error (Printf.sprintf "unknown request %S (check|stats|ping|shutdown)" cmd)
+  | [] -> Error "empty request"
+
+let print_request = function
+  | Stats -> "stats"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+  | Check { golden; revised; timeout_ms } -> (
+    match timeout_ms with
+    | None -> Printf.sprintf "check %s %s" golden revised
+    | Some ms -> Printf.sprintf "check %s %s %d" golden revised ms)

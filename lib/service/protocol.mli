@@ -1,0 +1,52 @@
+(** The line-delimited request protocol spoken over the daemon's Unix
+    domain socket, and the flat-JSON response encoding.
+
+    One request per connection: the client sends a single
+    newline-terminated line, the server answers with a single JSON
+    object on one line and closes.  Requests:
+
+    {v
+    check GOLDEN REVISED [TIMEOUT_MS]    decide a pair (netlist paths)
+    stats                                metrics + store counters as JSON
+    ping                                 liveness probe
+    shutdown                             drain the queue and exit
+    v}
+
+    Netlist paths are read by the {e server} process, so they must be
+    meaningful in its filesystem namespace (the daemon is a local
+    service).  Paths containing whitespace are not representable.
+
+    Responses are flat JSON objects — string, integer, float and
+    boolean fields only, no nesting — so that {!field} can extract
+    values without a JSON parser. *)
+
+type json =
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+
+(** Render a flat object; keys are emitted in the given order. *)
+val to_json : (string * json) list -> string
+
+(** [field name line] extracts field [name] from a flat JSON object
+    rendered by {!to_json}: [Some] of the raw value with string quoting
+    and escapes undone, [None] when absent.  Not a general JSON
+    parser. *)
+val field : string -> string -> string option
+
+(** Convenience: an [{"error": msg}] response line. *)
+val error_response : string -> string
+
+type request =
+  | Check of {
+      golden : string;
+      revised : string;
+      timeout_ms : int option;
+    }
+  | Stats
+  | Ping
+  | Shutdown
+
+val parse_request : string -> (request, string) result
+val print_request : request -> string

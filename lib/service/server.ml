@@ -1,0 +1,345 @@
+module Cec = Cec_core.Cec
+module P = Protocol
+
+type config = {
+  socket_path : string;
+  store_dir : string;
+  store_capacity : int option;
+  paranoid : bool;
+  workers : int;
+  queue_capacity : int;
+  engine : Engine.config;
+  default_timeout_ms : int option;
+  log : bool;
+}
+
+let default_config ~socket_path ~store_dir =
+  {
+    socket_path;
+    store_dir;
+    store_capacity = None;
+    paranoid = true;
+    workers = 1;
+    queue_capacity = 64;
+    engine = Engine.default_config;
+    default_timeout_ms = None;
+    log = true;
+  }
+
+(* One accepted [check] request, parked on the bounded queue.  The
+   worker that pops it owns (and closes) the connection. *)
+type job = {
+  golden : Aig.t;
+  revised : Aig.t;
+  key : Key.t;
+  deadline : float option;
+  fd : Unix.file_descr;
+}
+
+type state = {
+  cfg : config;
+  store : Store.t;
+  metrics : Metrics.t;
+  queue : job Queue.t;
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable draining : bool;
+  stop : bool Atomic.t;
+}
+
+(* --- framing --- *)
+
+let max_request_bytes = 65536
+
+let read_line_fd fd =
+  let buf = Buffer.create 128 in
+  let byte = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > max_request_bytes then Error "request too long"
+    else
+      match Unix.read fd byte 0 1 with
+      | 0 -> if Buffer.length buf = 0 then Error "connection closed" else Ok (Buffer.contents buf)
+      | _ ->
+        let c = Bytes.get byte 0 in
+        if c = '\n' then Ok (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+(* Best-effort response write: a vanished client (EPIPE/ECONNRESET)
+   is not the server's problem. *)
+let send fd line =
+  let data = Bytes.of_string (line ^ "\n") in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* --- request handling --- *)
+
+let load_netlist path =
+  try
+    if Filename.check_suffix path ".blif" then Ok (Aig.Blif.read_file path)
+    else Ok (Aig.Aiger.read_file path)
+  with
+  | Aig.Aiger.Parse_error msg | Aig.Blif.Parse_error msg ->
+    Error (Printf.sprintf "%s: %s" path msg)
+  | Sys_error msg -> Error msg
+
+let status_of_verdict ~timed_out = function
+  | Cec.Equivalent _ -> "equivalent"
+  | Cec.Inequivalent _ -> "inequivalent"
+  | Cec.Undecided -> if timed_out then "timeout" else "undecided"
+
+let outcome_of_verdict ~timed_out = function
+  | Cec.Equivalent _ -> Metrics.Proved
+  | Cec.Inequivalent _ -> Metrics.Counterexample
+  | Cec.Undecided -> if timed_out then Metrics.Timeout else Metrics.Undecided
+
+let check_response ~key ~cached ~ms ~conflicts ~timed_out verdict =
+  let base =
+    [
+      ("status", P.String (status_of_verdict ~timed_out verdict));
+      ("cached", P.Bool cached);
+      ("key", P.String (Key.to_hex key));
+      ("conflicts", P.Int conflicts);
+      ("ms", P.Float ms);
+    ]
+  in
+  let extra =
+    match verdict with
+    | Cec.Inequivalent cex ->
+      [
+        ( "cex",
+          P.String (String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0')) );
+      ]
+    | Cec.Equivalent _ | Cec.Undecided -> []
+  in
+  P.to_json (base @ extra)
+
+let log st fmt =
+  if st.cfg.log then Format.eprintf ("cecd: " ^^ fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
+
+let ms_since t0 = 1000.0 *. (Unix.gettimeofday () -. t0)
+
+let process st job =
+  let t0 = Unix.gettimeofday () in
+  let expired = match job.deadline with Some d -> t0 >= d | None -> false in
+  if expired then begin
+    Metrics.record_cancelled st.metrics;
+    log st "cancelled %s (deadline expired in queue)" (Key.to_hex job.key);
+    send job.fd
+      (P.to_json
+         [
+           ("status", P.String "timeout");
+           ("cached", P.Bool false);
+           ("key", P.String (Key.to_hex job.key));
+           ("conflicts", P.Int 0);
+           ("ms", P.Float 0.0);
+         ])
+  end
+  else
+    match Store.find st.store job.key ~golden:job.golden ~revised:job.revised with
+    | Some verdict ->
+      let ms = ms_since t0 in
+      Metrics.record st.metrics (outcome_of_verdict ~timed_out:false verdict) ~cached:true ~ms;
+      log st "hit %s (%s, %.2fms)" (Key.to_hex job.key)
+        (status_of_verdict ~timed_out:false verdict)
+        ms;
+      send job.fd (check_response ~key:job.key ~cached:true ~ms ~conflicts:0 ~timed_out:false verdict)
+    | None -> (
+      match Engine.solve ?deadline:job.deadline st.cfg.engine job.golden job.revised with
+      | exception Invalid_argument msg ->
+        Metrics.record_error st.metrics;
+        send job.fd (P.error_response msg)
+      | result ->
+        Store.store st.store job.key result.Engine.verdict;
+        let ms = ms_since t0 in
+        Metrics.record st.metrics
+          (outcome_of_verdict ~timed_out:result.Engine.timed_out result.Engine.verdict)
+          ~cached:false ~ms;
+        log st "solved %s (%s, %d conflicts, %.2fms)" (Key.to_hex job.key)
+          (status_of_verdict ~timed_out:result.Engine.timed_out result.Engine.verdict)
+          result.Engine.conflicts ms;
+        send job.fd
+          (check_response ~key:job.key ~cached:false ~ms ~conflicts:result.Engine.conflicts
+             ~timed_out:result.Engine.timed_out result.Engine.verdict))
+
+let rec worker st =
+  Mutex.lock st.lock;
+  while Queue.is_empty st.queue && not st.draining do
+    Condition.wait st.nonempty st.lock
+  done;
+  if Queue.is_empty st.queue then Mutex.unlock st.lock (* draining and empty: exit *)
+  else begin
+    let job = Queue.pop st.queue in
+    Mutex.unlock st.lock;
+    (try process st job
+     with e ->
+       Metrics.record_error st.metrics;
+       send job.fd (P.error_response (Printexc.to_string e)));
+    close_quietly job.fd;
+    worker st
+  end
+
+let stats_response st =
+  P.to_json (Metrics.fields (Metrics.snapshot st.metrics) @ Store.fields (Store.stats st.store))
+
+(* Parse and dispatch one connection's request.  Everything answerable
+   without solving is answered inline; [check] jobs go to the queue,
+   which then owns the connection. *)
+let handle_connection st fd =
+  match read_line_fd fd with
+  | Error msg ->
+    send fd (P.error_response msg);
+    close_quietly fd
+  | Ok line -> (
+    Metrics.incr_requests st.metrics;
+    match P.parse_request line with
+    | Error msg ->
+      Metrics.record_error st.metrics;
+      send fd (P.error_response msg);
+      close_quietly fd
+    | Ok P.Ping ->
+      send fd (P.to_json [ ("ok", P.Bool true) ]);
+      close_quietly fd
+    | Ok P.Stats ->
+      send fd (stats_response st);
+      close_quietly fd
+    | Ok P.Shutdown ->
+      log st "shutdown requested, draining";
+      Atomic.set st.stop true;
+      send fd (P.to_json [ ("ok", P.Bool true); ("draining", P.Bool true) ]);
+      close_quietly fd
+    | Ok (P.Check { golden; revised; timeout_ms }) -> (
+      match (load_netlist golden, load_netlist revised) with
+      | Error msg, _ | _, Error msg ->
+        Metrics.record_error st.metrics;
+        send fd (P.error_response msg);
+        close_quietly fd
+      | Ok a, Ok b ->
+        if Aig.num_inputs a <> Aig.num_inputs b || Aig.num_outputs a <> Aig.num_outputs b
+        then begin
+          Metrics.record_error st.metrics;
+          send fd (P.error_response "interface mismatch between the two netlists");
+          close_quietly fd
+        end
+        else begin
+          let a = Key.normalize a and b = Key.normalize b in
+          let key = Key.of_pair a b in
+          let timeout = match timeout_ms with Some _ as t -> t | None -> st.cfg.default_timeout_ms in
+          let deadline =
+            Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)) timeout
+          in
+          Mutex.lock st.lock;
+          if Queue.length st.queue >= max 1 st.cfg.queue_capacity then begin
+            Mutex.unlock st.lock;
+            Metrics.record_rejected st.metrics;
+            send fd (P.error_response "queue full");
+            close_quietly fd
+          end
+          else begin
+            Queue.push { golden = a; revised = b; key; deadline; fd } st.queue;
+            Condition.signal st.nonempty;
+            Mutex.unlock st.lock
+          end
+        end))
+
+(* --- life cycle --- *)
+
+let bind_socket path =
+  (match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> failwith (Printf.sprintf "%s: exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd 64
+   with e ->
+     close_quietly fd;
+     raise e);
+  fd
+
+let run cfg =
+  let store =
+    Store.create ?capacity_bytes:cfg.store_capacity ~paranoid:cfg.paranoid ~dir:cfg.store_dir ()
+  in
+  let st =
+    {
+      cfg;
+      store;
+      metrics = Metrics.create ();
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      draining = false;
+      stop = Atomic.make false;
+    }
+  in
+  let listen_fd = bind_socket cfg.socket_path in
+  let request_stop _ = Atomic.set st.stop true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let workers = Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (fun () -> worker st)) in
+  log st "listening on %s (store %s, %d worker(s))" cfg.socket_path cfg.store_dir
+    (Array.length workers);
+  while not (Atomic.get st.stop) do
+    match Unix.select [ listen_fd ] [] [] 0.1 with
+    | [], _, _ -> ()
+    | _ -> (
+      match Unix.accept listen_fd with
+      | fd, _ -> (
+        try handle_connection st fd
+        with e ->
+          Metrics.record_error st.metrics;
+          send fd (P.error_response (Printexc.to_string e));
+          close_quietly fd)
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  close_quietly listen_fd;
+  (* Drain: workers finish every queued job, then exit. *)
+  Mutex.lock st.lock;
+  st.draining <- true;
+  Condition.broadcast st.nonempty;
+  Mutex.unlock st.lock;
+  Array.iter Domain.join workers;
+  Store.flush store;
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  Sys.set_signal Sys.sigpipe old_pipe;
+  let snapshot = Metrics.snapshot st.metrics in
+  let store_stats = Store.stats store in
+  if cfg.log then begin
+    Format.eprintf "cecd: shutdown metrics: %a@." Metrics.pp snapshot;
+    Format.eprintf "cecd: store: %a@." Store.pp_stats store_stats
+  end;
+  (snapshot, store_stats)
+
+let request ~socket_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    close_quietly fd;
+    Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+  | () ->
+    let result =
+      send fd line;
+      read_line_fd fd
+    in
+    close_quietly fd;
+    result

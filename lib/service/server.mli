@@ -1,0 +1,55 @@
+(** The certification daemon: a Unix-domain-socket server that answers
+    {!Protocol} requests from a persistent {!Store}, solving misses on
+    the {!Engine} (and thus the {!Cec_core.Parallel} domain pool).
+
+    {2 Life cycle}
+
+    [run] binds the socket, spawns the worker domains and enters the
+    accept loop.  Each connection carries exactly one request; [check]
+    requests are parsed, normalized and keyed by the accept loop, then
+    pushed onto a {e bounded} queue — a full queue bounces the request
+    immediately with an error response (backpressure) instead of
+    letting latency grow without bound.  Worker domains pop jobs,
+    consult the store, solve misses, persist the verdict and reply.
+
+    A request's deadline (its [TIMEOUT_MS], or the configured default)
+    travels with the job: a job whose deadline expired while queued is
+    cancelled without solving, and an in-flight solve re-checks the
+    deadline at every budget-escalation round boundary.
+
+    On SIGINT/SIGTERM — or a [shutdown] request — the server stops
+    accepting, {e drains} the queue (every accepted request is still
+    answered), joins the workers, persists the store index, removes the
+    socket, and returns the final metrics.  When [log] is set the
+    metrics and store counters are also printed to stderr. *)
+
+type config = {
+  socket_path : string;
+  store_dir : string;
+  store_capacity : int option;  (** store byte cap ([None] unbounded) *)
+  paranoid : bool;  (** re-validate certificates before serving *)
+  workers : int;  (** worker domains consuming the queue (min 1) *)
+  queue_capacity : int;  (** bounced beyond this many queued jobs *)
+  engine : Engine.config;
+  default_timeout_ms : int option;
+      (** deadline for requests that do not carry their own *)
+  log : bool;  (** per-request and shutdown logging to stderr *)
+}
+
+(** One worker, queue of 64, paranoid, unbounded store, no default
+    deadline, [Engine.default_config], logging on. *)
+val default_config : socket_path:string -> store_dir:string -> config
+
+(** Run until shutdown; returns the final request metrics and store
+    counters.  @raise Unix.Unix_error when the socket cannot be bound,
+    [Failure] when [socket_path] exists and is not a socket. *)
+val run : config -> Metrics.snapshot * Store.stats
+
+(** Client side: send one request line over the socket, return the
+    one-line response.  [Error] covers connection failures and a
+    server that closed without replying. *)
+val request : socket_path:string -> string -> (string, string) result
+
+(** Read a netlist by extension ([.blif] → BLIF, anything else →
+    AIGER); shared with {!Batch} and the CLI. *)
+val load_netlist : string -> (Aig.t, string) result

@@ -1,0 +1,323 @@
+module Cec = Cec_core.Cec
+module Certify = Cec_core.Certify
+
+let format_version = 1
+
+type entry = {
+  mutable bytes : int;
+  mutable stamp : int;
+}
+
+type stats = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  stores : int;
+  evictions : int;
+  corrupt : int;
+}
+
+type t = {
+  dir : string;
+  objects : string;
+  capacity : int option;
+  paranoid : bool;
+  table : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable total_bytes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable store_count : int;
+  mutable evictions : int;
+  mutable corrupt : int;
+  lock : Mutex.t;
+}
+
+(* --- filesystem helpers --- *)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* Atomic publication: write to a fresh temporary in the same directory
+   (same filesystem, so the rename cannot degrade to copy+delete) and
+   rename over the final name. *)
+let write_atomic ~path data =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".tmp-" ".part" in
+  (try Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+(* --- index persistence --- *)
+
+let index_path t = Filename.concat t.dir "index"
+let object_path t hex = Filename.concat t.objects hex
+
+let save_index t =
+  let buf = Buffer.create 256 in
+  Printf.bprintf buf "cecproof-index %d\n" format_version;
+  Hashtbl.iter (fun hex (e : entry) -> Printf.bprintf buf "%s %d %d\n" hex e.bytes e.stamp) t.table;
+  write_atomic ~path:(index_path t) (Buffer.contents buf)
+
+(* Restore the entry table from the index file; falls back to scanning
+   objects/ when the index is absent, unparsable or version-mismatched
+   (rebuilt entries all get stamp 0: ancient, evicted first). *)
+let load_entries t =
+  let from_index () =
+    match read_file (index_path t) with
+    | exception Sys_error _ -> None
+    | text -> (
+      match String.split_on_char '\n' text with
+      | header :: lines when header = Printf.sprintf "cecproof-index %d" format_version -> (
+        let parse line =
+          match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+          | [ hex; bytes; stamp ] -> (
+            match (Key.of_hex hex, int_of_string_opt bytes, int_of_string_opt stamp) with
+            | Some _, Some bytes, Some stamp when bytes >= 0 && stamp >= 0 ->
+              Some (hex, bytes, stamp)
+            | _ -> None)
+          | _ -> None
+        in
+        let rec collect acc = function
+          | [] -> Some (List.rev acc)
+          | "" :: rest -> collect acc rest
+          | line :: rest -> (
+            match parse line with
+            | Some e -> collect (e :: acc) rest
+            | None -> None (* any bad line: distrust the whole index *))
+        in
+        match collect [] lines with
+        | Some entries ->
+          Some
+            (List.filter (fun (hex, _, _) -> Sys.file_exists (object_path t hex)) entries)
+        | None -> None)
+      | _ -> None)
+  in
+  let from_scan () =
+    match Sys.readdir t.objects with
+    | exception Sys_error _ -> []
+    | names ->
+      Array.to_list names
+      |> List.filter_map (fun name ->
+             match Key.of_hex name with
+             | None -> None
+             | Some _ -> (
+               match (Unix.stat (object_path t name)).Unix.st_size with
+               | size -> Some (name, size, 0)
+               | exception Unix.Unix_error _ -> None))
+  in
+  let entries = match from_index () with Some e -> e | None -> from_scan () in
+  List.iter
+    (fun (hex, bytes, stamp) ->
+      Hashtbl.replace t.table hex { bytes; stamp };
+      t.total_bytes <- t.total_bytes + bytes;
+      if stamp > t.clock then t.clock <- stamp)
+    entries
+
+let create ?capacity_bytes ?(paranoid = true) ~dir () =
+  let objects = Filename.concat dir "objects" in
+  mkdir_p objects;
+  let t =
+    {
+      dir;
+      objects;
+      capacity = capacity_bytes;
+      paranoid;
+      table = Hashtbl.create 64;
+      clock = 0;
+      total_bytes = 0;
+      hits = 0;
+      misses = 0;
+      store_count = 0;
+      evictions = 0;
+      corrupt = 0;
+      lock = Mutex.create ();
+    }
+  in
+  load_entries t;
+  t
+
+let dir t = t.dir
+let paranoid t = t.paranoid
+let entry_path t key = object_path t (Key.to_hex key)
+let with_lock t f = Mutex.protect t.lock f
+let mem t key = with_lock t (fun () -> Hashtbl.mem t.table (Key.to_hex key))
+
+let touch t (e : entry) =
+  t.clock <- t.clock + 1;
+  e.stamp <- t.clock
+
+(* --- certificate encoding --- *)
+
+let header = Printf.sprintf "cecproof-cert %d" format_version
+
+let encode verdict =
+  match verdict with
+  | Cec.Undecided -> None
+  | Cec.Inequivalent cex ->
+    let bits = String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0') in
+    Some (Printf.sprintf "%s\ninequivalent %s\n" header bits)
+  | Cec.Equivalent cert ->
+    let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+    Some
+      (Printf.sprintf "%s\nequivalent\n%s" header (Proof.Export.trace_to_string trimmed ~root))
+
+(* Split [data] into (first line, remainder after its newline). *)
+let split_line data =
+  match String.index_opt data '\n' with
+  | None -> (data, "")
+  | Some i -> (String.sub data 0 i, String.sub data (i + 1) (String.length data - i - 1))
+
+(* Decode, reconstruct and (in paranoid mode) re-validate one
+   certificate file against the requesting pair.  Every failure mode —
+   I/O, version skew, parse errors, a proof that no longer checks, a
+   counterexample that no longer distinguishes — is an [Error], which
+   [find] turns into entry deletion + miss. *)
+let load_verdict t path ~golden ~revised =
+  match read_file path with
+  | exception Sys_error msg -> Error msg
+  | data -> (
+    let first, rest = split_line data in
+    if first <> header then
+      Error (Printf.sprintf "version/header mismatch: %S (want %S)" first header)
+    else
+      let verdict_line, body = split_line rest in
+      match String.split_on_char ' ' verdict_line with
+      | [ "equivalent" ] -> (
+        match Proof.Export.trace_of_string body with
+        | exception Failure msg -> Error msg
+        | exception Invalid_argument msg -> Error msg
+        | proof, root -> (
+          match Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) with
+          | exception Invalid_argument msg -> Error msg
+          | formula -> (
+            let cert = { Cec.proof; root; formula } in
+            if not t.paranoid then Ok (Cec.Equivalent cert)
+            else
+              match Certify.validate_against cert golden revised with
+              | Ok _ -> Ok (Cec.Equivalent cert)
+              | Error e -> Error (Format.asprintf "%a" Certify.pp_error e))))
+      | [ "inequivalent"; bits ] ->
+        if String.exists (fun c -> c <> '0' && c <> '1') bits then
+          Error "malformed counterexample bits"
+        else if String.length bits <> Aig.num_inputs golden then
+          Error "counterexample arity mismatch"
+        else begin
+          let cex = Array.init (String.length bits) (fun i -> bits.[i] = '1') in
+          if t.paranoid then begin
+            match Aig.Miter.build golden revised with
+            | exception Invalid_argument msg -> Error msg
+            | miter ->
+              if (Aig.eval miter cex).(0) then Ok (Cec.Inequivalent cex)
+              else Error "stored counterexample does not distinguish the pair"
+          end
+          else Ok (Cec.Inequivalent cex)
+        end
+      | _ -> Error (Printf.sprintf "malformed verdict line %S" verdict_line))
+
+let drop_entry t hex (e : entry) =
+  Hashtbl.remove t.table hex;
+  t.total_bytes <- t.total_bytes - e.bytes;
+  try Sys.remove (object_path t hex) with Sys_error _ -> ()
+
+let find t key ~golden ~revised =
+  with_lock t (fun () ->
+      let hex = Key.to_hex key in
+      match Hashtbl.find_opt t.table hex with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some e -> (
+        match load_verdict t (object_path t hex) ~golden ~revised with
+        | Ok verdict ->
+          t.hits <- t.hits + 1;
+          touch t e;
+          save_index t;
+          Some verdict
+        | Error _ ->
+          t.corrupt <- t.corrupt + 1;
+          t.misses <- t.misses + 1;
+          drop_entry t hex e;
+          save_index t;
+          None))
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun hex (e : entry) acc ->
+        match acc with
+        | Some (_, (best : entry)) when best.stamp <= e.stamp -> acc
+        | _ -> Some (hex, e))
+      t.table None
+  in
+  match victim with
+  | None -> false
+  | Some (hex, e) ->
+    drop_entry t hex e;
+    t.evictions <- t.evictions + 1;
+    true
+
+let over_capacity t =
+  match t.capacity with Some cap -> t.total_bytes > cap | None -> false
+
+let store t key verdict =
+  match encode verdict with
+  | None -> ()
+  | Some data ->
+    with_lock t (fun () ->
+        let hex = Key.to_hex key in
+        write_atomic ~path:(object_path t hex) data;
+        let bytes = String.length data in
+        (match Hashtbl.find_opt t.table hex with
+        | Some e ->
+          t.total_bytes <- t.total_bytes - e.bytes + bytes;
+          e.bytes <- bytes;
+          touch t e
+        | None ->
+          let e = { bytes; stamp = 0 } in
+          touch t e;
+          Hashtbl.replace t.table hex e;
+          t.total_bytes <- t.total_bytes + bytes);
+        t.store_count <- t.store_count + 1;
+        (* LRU eviction pass: the just-written entry holds the newest
+           stamp, so it survives unless it is the only one left. *)
+        while over_capacity t && Hashtbl.length t.table > 1 && evict_lru t do
+          ()
+        done;
+        save_index t)
+
+let flush t = with_lock t (fun () -> save_index t)
+
+let stats t =
+  with_lock t (fun () ->
+      {
+        entries = Hashtbl.length t.table;
+        bytes = t.total_bytes;
+        hits = t.hits;
+        misses = t.misses;
+        stores = t.store_count;
+        evictions = t.evictions;
+        corrupt = t.corrupt;
+      })
+
+let fields s =
+  Protocol.
+    [
+      ("store_entries", Int s.entries);
+      ("store_bytes", Int s.bytes);
+      ("store_stores", Int s.stores);
+      ("store_evictions", Int s.evictions);
+      ("store_corrupt", Int s.corrupt);
+    ]
+
+let pp_stats fmt s =
+  Format.fprintf fmt "entries=%d bytes=%d hits=%d misses=%d stores=%d evictions=%d corrupt=%d"
+    s.entries s.bytes s.hits s.misses s.stores s.evictions s.corrupt

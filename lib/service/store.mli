@@ -1,0 +1,104 @@
+(** A content-addressed, persistent certificate store.
+
+    Decided verdicts are kept on disk keyed by {!Key.t} (the structural
+    hash of the normalized pair), so repeated requests for the same
+    pair are answered without solving — across requests, connections
+    and process restarts.
+
+    {2 On-disk layout}
+
+    {v
+    DIR/index              entry list: "cecproof-index <version>" then
+                           one "<hex> <bytes> <stamp>" line per entry
+    DIR/objects/<hex>      one certificate per entry:
+                             cecproof-cert <version>
+                             equivalent            | inequivalent <bits>
+                             <resolution trace...> |
+    v}
+
+    Equivalent entries persist the verdict plus the {e trimmed} dense
+    resolution trace ({!Proof.Export.trace_to_string});  inequivalent
+    entries persist the distinguishing input assignment; undecided
+    verdicts are never stored (a later, bigger budget may settle them).
+    Every file is written to a temporary name in the same directory and
+    renamed into place, so readers never observe a half-written entry
+    and a crash cannot corrupt an existing one.
+
+    Both the index and the certificate files are stamped with
+    {!format_version}: entries carrying any other version are treated
+    as misses and dropped, so a cached store directory (e.g. restored
+    by a CI cache) written by an older or newer format can never poison
+    a run.  A missing or unreadable index is rebuilt by scanning
+    [objects/].
+
+    {2 Eviction}
+
+    When a byte capacity is configured, each insertion is followed by
+    an eviction pass dropping least-recently-used entries (access
+    order, persisted via the index stamps) until the store fits.
+
+    {2 Paranoid mode}
+
+    A loaded certificate is untrusted input: the file may have rotted,
+    been truncated, or been written by an adversary.  In paranoid mode
+    (the default) a loaded equivalent entry is re-validated with
+    {!Cec_core.Certify.validate_against} against the requested pair —
+    and a loaded counterexample is replayed through the miter — before
+    being served; anything that fails is deleted and reported as a
+    miss, so the caller falls back to solving.  Disabling paranoia
+    serves entries unchecked (fast path for trusted local stores).
+
+    All operations are serialized by an internal mutex and safe to call
+    from multiple domains. *)
+
+type t
+
+type stats = {
+  entries : int;
+  bytes : int;  (** certificate bytes currently on disk *)
+  hits : int;
+  misses : int;  (** includes corrupt entries dropped on load *)
+  stores : int;
+  evictions : int;
+  corrupt : int;  (** entries rejected at load time and deleted *)
+}
+
+(** Version stamp of the index and certificate file formats. *)
+val format_version : int
+
+(** Open (creating directories as needed) a store rooted at [dir].
+    [capacity_bytes] bounds the total certificate bytes (unbounded when
+    omitted); [paranoid] defaults to [true]. *)
+val create : ?capacity_bytes:int -> ?paranoid:bool -> dir:string -> unit -> t
+
+val dir : t -> string
+val paranoid : t -> bool
+
+(** Path of the certificate file an entry for [key] lives at (whether
+    or not it currently exists). *)
+val entry_path : t -> Key.t -> string
+
+(** Index membership (no file access, no validation). *)
+val mem : t -> Key.t -> bool
+
+(** [find t key ~golden ~revised] loads, reconstructs and (in paranoid
+    mode) re-validates the stored verdict for [key].  [golden] and
+    [revised] must be the normalized pair the key was derived from:
+    they rebuild the miter CNF an equivalent certificate refutes.
+    Returns [None] — after deleting the entry — when the entry is
+    absent, unparsable, version-mismatched, or fails validation. *)
+val find : t -> Key.t -> golden:Aig.t -> revised:Aig.t -> Cec_core.Cec.verdict option
+
+(** Persist a verdict (atomically); undecided verdicts are ignored.
+    Runs the eviction pass when a capacity is configured. *)
+val store : t -> Key.t -> Cec_core.Cec.verdict -> unit
+
+(** Persist the index now (also done on every mutation). *)
+val flush : t -> unit
+
+val stats : t -> stats
+
+(** Flat JSON fields (mergeable with {!Metrics.fields}). *)
+val fields : stats -> (string * Protocol.json) list
+
+val pp_stats : Format.formatter -> stats -> unit

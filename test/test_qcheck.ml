@@ -317,6 +317,36 @@ let prop_blif_roundtrip =
       let reread = Aig.Blif.of_string (Aig.Blif.to_string g) in
       simulate_agree seed g reread)
 
+(* Dense-trace export/import round-trips on proofs produced by real
+   sweeping runs (lemma reuse on, so lifted lemma proofs are included):
+   the reparsed proof must keep the root clause and stay checkable
+   against the original certificate's formula. *)
+let clause_at proof id =
+  match R.node proof id with
+  | R.Leaf { clause; _ } | R.Chain { clause; _ } -> clause
+
+let prop_trace_roundtrip =
+  qtest "resolution trace export round-trip" (fun seed ->
+      let golden, revised = random_pair seed in
+      match (Cec.check sweeping golden revised).Cec.verdict with
+      | Cec.Inequivalent _ | Cec.Undecided -> true (* refutations only *)
+      | Cec.Equivalent cert ->
+        let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+        let text = Proof.Export.trace_to_string trimmed ~root in
+        let proof', root' = Proof.Export.trace_of_string text in
+        if Clause.compare (clause_at trimmed root) (clause_at proof' root') <> 0 then
+          QCheck.Test.fail_report "root clause changed across the round-trip";
+        (match
+           Proof.Checker.check proof' ~root:root' ~formula:cert.Cec.formula ()
+         with
+        | Ok _ -> ()
+        | Error e ->
+          QCheck.Test.fail_reportf "reparsed proof rejected: %a" Proof.Checker.pp_error e);
+        (* The round-trip is a fixpoint: re-export reproduces the text. *)
+        if Proof.Export.trace_to_string proof' ~root:root' <> text then
+          QCheck.Test.fail_report "re-export diverged from the original trace";
+        true)
+
 let suites =
   [
     ( "qcheck-differential",
@@ -339,5 +369,6 @@ let suites =
         prop_dimacs_roundtrip;
         prop_aiger_roundtrip;
         prop_blif_roundtrip;
+        prop_trace_roundtrip;
       ] );
   ]
