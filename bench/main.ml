@@ -688,6 +688,73 @@ let p2 () =
     ~rows;
   Format.printf "store: %a@." Service.Store.pp_stats (Service.Store.stats store)
 
+(* --- P3: observability — registry export + instrumentation overhead --- *)
+
+let p3 () =
+  (* The p1 workload (4-domain partitioned check over the suite), once
+     per case under a fresh registry.  The instrumentation cannot be
+     compiled out, so the overhead column is analytic: a micro-timed
+     [Counter.incr] cost times the number of counter ticks the case
+     recorded, as a share of the case's wall time.  The merged registry
+     is exported to BENCH_p3.json so the perf trajectory is tracked in
+     machine-readable form from this PR on. *)
+  let incr_ns =
+    let reg = Obs.Registry.create () in
+    let c = Obs.Registry.counter reg "bench.calibrate" in
+    let n = 5_000_000 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      Obs.Counter.incr c
+    done;
+    1e9 *. (Unix.gettimeofday () -. t0) /. float_of_int n
+  in
+  let merged = Obs.Registry.create () in
+  let config = { Parallel.default_config with Parallel.num_domains = 4 } in
+  let rows =
+    List.map
+      (fun case ->
+        let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
+        let reg = Obs.Registry.create () in
+        let report, t =
+          Obs.with_ambient reg (fun () -> time (fun () -> Parallel.check ~config golden revised))
+        in
+        (match report.Parallel.verdict with
+        | Cec.Equivalent _ -> ()
+        | Cec.Inequivalent _ | Cec.Undecided -> failwith "benchmark case not proved (bug)");
+        let counters = Obs.Registry.counters reg in
+        let value name = try List.assoc name counters with Not_found -> 0 in
+        let ticks = List.fold_left (fun acc (_, v) -> acc + v) 0 counters in
+        let overhead = 100.0 *. (float_of_int ticks *. incr_ns /. 1e9) /. t in
+        Obs.Gauge.set
+          (Obs.Registry.gauge merged ("bench.p3." ^ case.Circuits.Suite.name ^ "_ms"))
+          (1000.0 *. t);
+        Obs.Registry.merge_into ~into:merged reg;
+        [
+          case.Circuits.Suite.name;
+          Tables.fmt_ms t;
+          string_of_int (value "sat.conflicts");
+          string_of_int (value "sat.propagations");
+          string_of_int (value "sweep.sat_calls");
+          string_of_int (value "proof.chains");
+          string_of_int ticks;
+          Printf.sprintf "%.2f%%" overhead;
+        ])
+      Circuits.Suite.default
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "P3: observability registry over the p1 workload (4 domains; Counter.incr ~ %.1f ns, \
+          overhead = ticks x incr / wall)"
+         incr_ns)
+    ~columns:
+      [ "case"; "ms"; "conflicts"; "props"; "SAT calls"; "chains"; "obs ticks"; "overhead" ]
+    ~rows;
+  Out_channel.with_open_text "BENCH_p3.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p3.json (%d counters)\n"
+    (List.length (Obs.Registry.counters merged))
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -785,9 +852,11 @@ let experiments =
     ("t6", t6); ("t7", t7); ("f1", f1); ("f2", f2); ("f3", f3); ("f4", f4); ("f5", f5); ("f6", f6); ("f7", f7); ("f8", f8);
     ("p1", p1);
     ("p2", p2);
+    ("p3", p3);
   ]
 
 let () =
+  Obs.Clock.set Unix.gettimeofday;
   let args = List.tl (Array.to_list Sys.argv) in
   let selected = if args = [] then List.map fst experiments @ [ "bechamel" ] else args in
   List.iter
@@ -800,7 +869,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1, p2, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p3, bechamel)\n" name;
           exit 2
         end)
     selected

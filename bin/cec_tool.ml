@@ -36,6 +36,11 @@ let write_text path text =
     let oc = open_out path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
 
+(* Write the observability registry to the requested export files. *)
+let export_obs reg ~stats_out ~trace_out =
+  Option.iter (fun p -> write_text (Some p) (Obs.Export.stats_json reg)) stats_out;
+  Option.iter (fun p -> write_text (Some p) (Obs.Export.trace_json reg)) trace_out
+
 (* --- circuit specifications for `gen` --- *)
 
 let circuit_of_spec spec =
@@ -153,8 +158,8 @@ let print_partition (p : Parallel.partition) =
     p.Parallel.output status p.Parallel.cone_ands p.Parallel.attempts p.Parallel.conflicts
     p.Parallel.sat_calls
 
-let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs proof_out
-    validate =
+let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs stats_out
+    trace_out proof_out validate =
   match (read_aiger path_a, read_aiger path_b) with
   | Error msg, _ | _, Error msg ->
     prerr_endline msg;
@@ -165,31 +170,43 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
       prerr_endline msg;
       2
     | Ok engine -> (
+      let reg = Obs.Registry.create () in
+      (* --jobs N >= 1 always takes the partitioned path, so --jobs 1
+         and --jobs 4 run the same per-partition work and produce
+         identical aggregate counters; 0 (the default) is the
+         sequential single-miter engine. *)
       let check () =
-        if jobs <= 1 then Cec.check engine a b
-        else begin
-          let config =
-            { Parallel.default_config with Parallel.num_domains = jobs; engine; budget = max_conflicts }
-          in
-          let par = Parallel.check ~config a b in
-          let stats = par.Parallel.stats in
-          Array.iter print_partition stats.Parallel.partitions;
-          Format.printf "parallel: %d partitions on %d domains, %d round(s)@."
-            (Array.length stats.Parallel.partitions)
-            stats.Parallel.domains stats.Parallel.rounds;
-          {
-            Cec.verdict = par.Parallel.verdict;
-            sweep_stats = None;
-            solver_conflicts = stats.Parallel.conflicts;
-            sat_calls = stats.Parallel.sat_calls;
-          }
-        end
+        Obs.with_ambient reg (fun () ->
+            if jobs <= 0 then Cec.check engine a b
+            else begin
+              let config =
+                {
+                  Parallel.default_config with
+                  Parallel.num_domains = jobs;
+                  engine;
+                  budget = max_conflicts;
+                }
+              in
+              let par = Parallel.check ~config a b in
+              let stats = par.Parallel.stats in
+              Array.iter print_partition stats.Parallel.partitions;
+              Format.printf "parallel: %d partitions on %d domains, %d round(s)@."
+                (Array.length stats.Parallel.partitions)
+                stats.Parallel.domains stats.Parallel.rounds;
+              {
+                Cec.verdict = par.Parallel.verdict;
+                sweep_stats = None;
+                solver_conflicts = stats.Parallel.conflicts;
+                sat_calls = stats.Parallel.sat_calls;
+              }
+            end)
       in
       match check () with
       | exception Invalid_argument msg ->
         prerr_endline msg;
         2
       | report -> (
+        export_obs reg ~stats_out ~trace_out;
         match report.Cec.verdict with
         | Cec.Equivalent cert ->
           let stats = Proof.Pstats.of_root cert.Cec.proof ~root:cert.Cec.root in
@@ -422,7 +439,8 @@ let service_engine jobs budget =
   let base = { Service.Engine.default_config with Service.Engine.jobs } in
   match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
 
-let run_serve socket store capacity_mb no_paranoid workers queue jobs budget timeout_ms quiet =
+let run_serve socket store capacity_mb no_paranoid workers queue jobs budget timeout_ms quiet
+    stats_out trace_out =
   let cfg =
     {
       (Service.Server.default_config ~socket_path:socket ~store_dir:store) with
@@ -433,6 +451,8 @@ let run_serve socket store capacity_mb no_paranoid workers queue jobs budget tim
       engine = service_engine jobs budget;
       default_timeout_ms = timeout_ms;
       log = not quiet;
+      stats_out;
+      trace_out;
     }
   in
   match Service.Server.run cfg with
@@ -471,7 +491,8 @@ let run_client socket ping stats shutdown timeout_ms golden revised =
       prerr_endline "client: expected GOLDEN and REVISED paths (or --ping/--stats/--shutdown)";
       2
 
-let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms =
+let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms stats_out
+    trace_out =
   match Service.Batch.parse_manifest manifest with
   | Error msg ->
     prerr_endline msg;
@@ -488,7 +509,13 @@ let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms 
         (Printf.sprintf "(%.1f ms)" r.Service.Batch.ms)
         (if r.Service.Batch.detail = "" then "" else " " ^ r.Service.Batch.detail)
     in
-    let s = Service.Batch.run ~store ~engine:(service_engine jobs budget) ?timeout_ms ~on_result pairs in
+    let reg = Obs.Registry.create () in
+    let s =
+      Obs.with_ambient reg (fun () ->
+          Service.Batch.run ~store ~engine:(service_engine jobs budget) ?timeout_ms ~on_result
+            pairs)
+    in
+    export_obs reg ~stats_out ~trace_out;
     Service.Store.flush store;
     Format.printf "batch: %d pairs, %d hits, %d proved, %d cex, %d undecided, %d errors in %.1f ms@."
       s.Service.Batch.total s.Service.Batch.hits s.Service.Batch.proved
@@ -514,6 +541,24 @@ let output_arg =
     value
     & opt (some string) None
     & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+
+let stats_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stats-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the aggregated observability registry (counters, gauges, histograms) as flat \
+           JSON with a stable key order.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write the recorded spans as Chrome trace_event JSON (load in chrome://tracing or \
+           Perfetto).")
 
 let gen_cmd =
   let spec =
@@ -584,12 +629,13 @@ let cec_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 1
+      value & opt int 0
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
             "Partition the miter per output and solve the partitions on $(docv) domains, \
-             stitching the per-partition refutations into one certificate.  1 (default) keeps \
-             the sequential single-miter engine.")
+             stitching the per-partition refutations into one certificate.  0 (default) keeps \
+             the sequential single-miter engine; any $(docv) >= 1 takes the partitioned path, \
+             so aggregate counters are identical for every worker count.")
   in
   Cmd.v
     (Cmd.info "cec" ~doc:"Check two AIGER circuits for equivalence."
@@ -602,7 +648,8 @@ let cec_cmd =
          ])
     Term.(
       const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
-      $ words $ no_lemmas $ budget $ incremental $ jobs $ proof_out $ validate)
+      $ words $ no_lemmas $ budget $ incremental $ jobs $ stats_out_arg $ trace_out_arg
+      $ proof_out $ validate)
 
 let check_proof_cmd =
   Cmd.v
@@ -750,7 +797,8 @@ let serve_cmd =
          ])
     Term.(
       const run_serve $ socket_arg $ store_arg $ capacity_arg $ no_paranoid_arg $ workers $ queue
-      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ quiet)
+      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ quiet $ stats_out_arg
+      $ trace_out_arg)
 
 let client_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
@@ -789,7 +837,7 @@ let batch_cmd =
          ])
     Term.(
       const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ service_jobs_arg
-      $ service_budget_arg $ timeout_ms_arg)
+      $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg)
 
 let main_cmd =
   Cmd.group
@@ -797,4 +845,8 @@ let main_cmd =
        ~doc:"Combinational equivalence checking with resolution proofs.")
     [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd; serve_cmd; client_cmd; batch_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  (* Real wall-clock timelines for spans and latency histograms; the
+     dependency-free Obs default is processor time. *)
+  Obs.Clock.set Unix.gettimeofday;
+  exit (Cmd.eval' main_cmd)

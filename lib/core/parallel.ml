@@ -80,7 +80,13 @@ let attempt engine budget job =
 
 (* Run one attempt on every job, pulling indices from a shared counter
    (a queue without stealing: jobs are independent, so arrival order
-   cannot influence any result).  Returns the worker count used. *)
+   cannot influence any result).  Returns the worker count used.
+
+   Each worker records observability into its own local registry —
+   plain mutation, no synchronization — and the registries are merged
+   into the caller's ambient registry after the joins.  Counter and
+   histogram merging is commutative, so the aggregate is identical for
+   every worker count. *)
 let run_round ~num_domains engine budget jobs =
   let n = Array.length jobs in
   if n = 0 then 0
@@ -88,20 +94,32 @@ let run_round ~num_domains engine budget jobs =
     let workers = max 1 (min num_domains n) in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let work () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (try attempt engine budget jobs.(i)
-           with e -> ignore (Atomic.compare_and_set failure None (Some e)));
-          loop ()
-        end
-      in
-      loop ()
+    let round_start = Obs.Clock.now () in
+    let work reg () =
+      Obs.with_ambient reg (fun () ->
+          let o_attempts = Obs.Registry.counter reg "parallel.attempts" in
+          let o_job_ms = Obs.Registry.histogram reg "parallel.job_ms" in
+          let o_queue_wait_ms = Obs.Registry.histogram reg "parallel.queue_wait_ms" in
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              let t0 = Obs.Clock.now () in
+              Obs.Histogram.observe o_queue_wait_ms (1000.0 *. (t0 -. round_start));
+              (try attempt engine budget jobs.(i)
+               with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+              Obs.Counter.incr o_attempts;
+              Obs.Histogram.observe o_job_ms (1000.0 *. (Obs.Clock.now () -. t0));
+              loop ()
+            end
+          in
+          loop ())
     in
-    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn work) in
-    work ();
+    let parent = Obs.ambient () in
+    let regs = Array.init workers (fun _ -> Obs.Registry.create ()) in
+    let spawned = Array.init (workers - 1) (fun k -> Domain.spawn (work regs.(k + 1))) in
+    work regs.(0) ();
     Array.iter Domain.join spawned;
+    Array.iter (fun r -> Obs.Registry.merge_into ~into:parent r) regs;
     (match Atomic.get failure with Some e -> raise e | None -> ());
     workers
   end
@@ -229,6 +247,11 @@ let check ?(config = default_config) a b =
     schedule;
   let num_domains = max 1 config.num_domains in
   let escalation = max 2 config.escalation in
+  let reg = Obs.ambient () in
+  let o_rounds = Obs.Registry.counter reg "parallel.rounds" in
+  let o_escalations = Obs.Registry.counter reg "parallel.budget_escalations" in
+  Obs.Counter.add (Obs.Registry.counter reg "parallel.partitions") (Array.length slots);
+  Obs.Counter.add (Obs.Registry.counter reg "parallel.jobs") (Array.length jobs);
   let rounds = ref 0 in
   let domains_used = ref (if Array.length schedule = 0 then 1 else 0) in
   let budget_for round =
@@ -238,7 +261,12 @@ let check ?(config = default_config) a b =
   let continue = ref (Array.length schedule > 0) in
   while !continue do
     let budget = budget_for !rounds in
-    let used = run_round ~num_domains config.engine budget !pending in
+    Obs.Counter.incr o_rounds;
+    if !rounds > 0 then Obs.Counter.incr o_escalations;
+    let used =
+      Obs.Span.with_ reg "parallel.round" (fun () ->
+          run_round ~num_domains config.engine budget !pending)
+    in
     domains_used := max !domains_used used;
     incr rounds;
     let undecided = Array.of_list (List.filter job_undecided (Array.to_list !pending)) in
@@ -302,7 +330,10 @@ let check ?(config = default_config) a b =
     | None ->
       if gave_up then (Cec.Undecided, 0, 0)
       else begin
-        let cert, stitch_conflicts = stitch miter diffs formula (Array.to_list jobs) in
+        let cert, stitch_conflicts =
+          Obs.Span.with_ reg "parallel.stitch" (fun () ->
+              stitch miter diffs formula (Array.to_list jobs))
+        in
         (Cec.Equivalent cert, stitch_conflicts, 1)
       end
   in

@@ -28,6 +28,32 @@ type stats = {
 let fresh_stats () =
   { sat_calls = 0; cex = 0; unknowns = 0; merges = 0; const_merges = 0; lemmas = 0; conflicts = 0 }
 
+(* Ambient-registry handles, resolved once per engine. *)
+type obs_handles = {
+  o_sat_calls : Obs.Counter.t;
+  o_refuted : Obs.Counter.t;
+  o_cex : Obs.Counter.t;
+  o_budget : Obs.Counter.t;
+  o_lemmas : Obs.Counter.t;
+  o_merges : Obs.Counter.t;
+  o_const_merges : Obs.Counter.t;
+  o_sim_refinements : Obs.Counter.t;
+}
+
+let obs_handles () =
+  let reg = Obs.ambient () in
+  let c = Obs.Registry.counter reg in
+  {
+    o_sat_calls = c "sweep.sat_calls";
+    o_refuted = c "sweep.sat_refuted";
+    o_cex = c "sweep.sat_cex";
+    o_budget = c "sweep.sat_budget";
+    o_lemmas = c "sweep.lemmas";
+    o_merges = c "sweep.merges";
+    o_const_merges = c "sweep.const_merges";
+    o_sim_refinements = c "sweep.sim_refinements";
+  }
+
 type outcome =
   | Proved of { proof : R.t; root : R.id; formula : Formula.t }
   | Disproved of bool array
@@ -47,6 +73,7 @@ type engine = {
   g : Aig.t;
   cfg : config;
   stats : stats;
+  obs : obs_handles;
   simc : Simclass.t;
   merged : (int * bool) option array;
   query : lits:Lit.t list -> assumptions:Lit.t list -> query_result;
@@ -68,6 +95,7 @@ let prove_constant e n phase =
   | Refuted (root, lemma) ->
     e.register_lemma lemma root;
     e.stats.const_merges <- e.stats.const_merges + 1;
+    Obs.Counter.incr e.obs.o_const_merges;
     `Merged
   | Countermodel inputs ->
     e.stats.cex <- e.stats.cex + 1;
@@ -104,6 +132,7 @@ let prove_pair e n r phase =
       e.register_lemma lemma_a root_a;
       e.register_lemma lemma_b root_b;
       e.stats.merges <- e.stats.merges + 1;
+      Obs.Counter.incr e.obs.o_merges;
       `Merged)
 
 (* Settle one AND node against its current class leader, retrying after
@@ -132,14 +161,15 @@ type fresh_state = {
   lemmas_by_max_var : (int, Clause.t list) Hashtbl.t;
 }
 
-let fresh_register st stats clause root =
+let fresh_register o st stats clause root =
   if not (Hashtbl.mem st.lemma_root clause) then begin
     Hashtbl.replace st.lemma_root clause root;
     st.lemma_list <- clause :: st.lemma_list;
     let key = Clause.max_var clause in
     let existing = Option.value ~default:[] (Hashtbl.find_opt st.lemmas_by_max_var key) in
     Hashtbl.replace st.lemmas_by_max_var key (clause :: existing);
-    stats.lemmas <- stats.lemmas + 1
+    stats.lemmas <- stats.lemmas + 1;
+    Obs.Counter.incr o.o_lemmas
   end
 
 (* Import a lifted derivation from a per-query proof into the global
@@ -220,15 +250,17 @@ let make_fresh_engine g cfg ~formula =
     }
   in
   let stats = fresh_stats () in
+  let o = obs_handles () in
   let engine =
     {
       g;
       cfg;
       stats;
+      obs = o;
       simc = Simclass.create g ~words:cfg.words ~seed:cfg.seed;
       merged = Array.make (Aig.num_nodes g) None;
       query = (fun ~lits ~assumptions -> fresh_query g cfg st stats ~lits ~assumptions);
-      register_lemma = (fun clause root -> fresh_register st stats clause root);
+      register_lemma = (fun clause root -> fresh_register o st stats clause root);
     }
   in
   (engine, fun () -> fresh_final g cfg st stats)
@@ -243,6 +275,7 @@ let make_incremental_engine g cfg ~formula =
   Solver.add_clause solver Cnf.Tseitin.constant_unit;
   let added = Array.make (Aig.num_nodes g) false in
   let stats = fresh_stats () in
+  let o = obs_handles () in
   let prev_conflicts = ref 0 in
   let account () =
     stats.conflicts <- stats.conflicts + (Solver.num_conflicts solver - !prev_conflicts);
@@ -277,13 +310,15 @@ let make_incremental_engine g cfg ~formula =
     (* The lemma becomes an ordinary solver clause backed by its
        derivation: later queries stitch through it for free. *)
     if cfg.lemma_reuse then Solver.add_derived_clause solver clause pid;
-    stats.lemmas <- stats.lemmas + 1
+    stats.lemmas <- stats.lemmas + 1;
+    Obs.Counter.incr o.o_lemmas
   in
   let engine =
     {
       g;
       cfg;
       stats;
+      obs = o;
       simc = Simclass.create g ~words:cfg.words ~seed:cfg.seed;
       merged = Array.make (Aig.num_nodes g) None;
       query;
@@ -310,8 +345,35 @@ let make_incremental_engine g cfg ~formula =
 (* --- entry points ------------------------------------------------- *)
 
 let make_engine g cfg ~formula =
-  if cfg.incremental then make_incremental_engine g cfg ~formula
-  else make_fresh_engine g cfg ~formula
+  let engine, finalize =
+    if cfg.incremental then make_incremental_engine g cfg ~formula
+    else make_fresh_engine g cfg ~formula
+  in
+  (* Wrap the engine-specific callbacks so every mode records the same
+     observability counters at the same points. *)
+  let o = engine.obs in
+  let query ~lits ~assumptions =
+    Obs.Counter.incr o.o_sat_calls;
+    let r = engine.query ~lits ~assumptions in
+    (match r with
+    | Refuted _ -> Obs.Counter.incr o.o_refuted
+    | Countermodel _ ->
+      Obs.Counter.incr o.o_cex;
+      (* Every sweeping countermodel becomes a refinement pattern. *)
+      Obs.Counter.incr o.o_sim_refinements
+    | Budget -> Obs.Counter.incr o.o_budget);
+    r
+  in
+  let finalize () =
+    Obs.Counter.incr o.o_sat_calls;
+    let outcome = finalize () in
+    (match outcome with
+    | Proved _ -> Obs.Counter.incr o.o_refuted
+    | Disproved _ -> Obs.Counter.incr o.o_cex
+    | Unresolved -> Obs.Counter.incr o.o_budget);
+    outcome
+  in
+  ({ engine with query }, finalize)
 
 let run g cfg =
   if Aig.num_outputs g <> 1 then invalid_arg "Sweep.run: expected a single-output miter";

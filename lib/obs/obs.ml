@@ -1,0 +1,285 @@
+module Clock = struct
+  let clock = Atomic.make Sys.time
+  let now () = (Atomic.get clock) ()
+  let set f = Atomic.set clock f
+end
+
+module Counter = struct
+  type t = { mutable c : int }
+
+  let make () = { c = 0 }
+  let incr t = t.c <- t.c + 1
+  let add t n = t.c <- t.c + n
+  let get t = t.c
+end
+
+module Gauge = struct
+  type t = { mutable g : float }
+
+  let make () = { g = 0.0 }
+  let set t v = t.g <- v
+  let add t v = t.g <- t.g +. v
+  let get t = t.g
+end
+
+module Histogram = struct
+  type t = {
+    bounds : float array;
+    buckets : int array; (* length = Array.length bounds + 1 (overflow) *)
+    mutable count : int;
+    mutable sum : float;
+    mutable max : float;
+  }
+
+  let default_bounds =
+    [|
+      1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1_000.; 2_000.; 5_000.; 10_000.; 20_000.;
+      50_000.; 100_000.;
+    |]
+
+  let make bounds =
+    let n = Array.length bounds in
+    for i = 1 to n - 1 do
+      if bounds.(i - 1) >= bounds.(i) then
+        invalid_arg "Obs.Histogram: bounds must be strictly increasing"
+    done;
+    { bounds = Array.copy bounds; buckets = Array.make (n + 1) 0; count = 0; sum = 0.0; max = 0.0 }
+
+  (* First bucket whose bound is >= v (linear: bound arrays are tiny
+     and the scan usually stops in the first few entries). *)
+  let bucket_of t v =
+    let n = Array.length t.bounds in
+    let rec find i = if i >= n || v <= t.bounds.(i) then i else find (i + 1) in
+    find 0
+
+  let observe t v =
+    let b = bucket_of t v in
+    t.buckets.(b) <- t.buckets.(b) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let max_value t = t.max
+  let bounds t = Array.copy t.bounds
+  let buckets t = Array.copy t.buckets
+end
+
+type span_phase = Begin | End
+
+type span_event = {
+  name : string;
+  phase : span_phase;
+  ts : float;
+  tid : int;
+}
+
+module Registry = struct
+  type t = {
+    counters : (string, Counter.t) Hashtbl.t;
+    gauges : (string, Gauge.t) Hashtbl.t;
+    histograms : (string, Histogram.t) Hashtbl.t;
+    mutable events : span_event list; (* newest first *)
+    mutable num_events : int;
+  }
+
+  let create () =
+    {
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 16;
+      histograms = Hashtbl.create 16;
+      events = [];
+      num_events = 0;
+    }
+
+  let find_or_add tbl name make =
+    match Hashtbl.find_opt tbl name with
+    | Some x -> x
+    | None ->
+      let x = make () in
+      Hashtbl.add tbl name x;
+      x
+
+  let counter t name = find_or_add t.counters name Counter.make
+
+  let gauge t name = find_or_add t.gauges name Gauge.make
+
+  let histogram ?bounds t name =
+    match Hashtbl.find_opt t.histograms name with
+    | Some h ->
+      (match bounds with
+      | Some b when h.Histogram.bounds <> b ->
+        invalid_arg (Printf.sprintf "Obs.Registry.histogram: %S exists with different bounds" name)
+      | _ -> h)
+    | None ->
+      let h = Histogram.make (Option.value bounds ~default:Histogram.default_bounds) in
+      Hashtbl.add t.histograms name h;
+      h
+
+  let push_event t e =
+    t.events <- e :: t.events;
+    t.num_events <- t.num_events + 1
+
+  let merge_into ~into src =
+    Hashtbl.iter (fun name c -> Counter.add (counter into name) (Counter.get c)) src.counters;
+    Hashtbl.iter
+      (fun name g ->
+        let dst = gauge into name in
+        if Gauge.get g > Gauge.get dst then Gauge.set dst (Gauge.get g))
+      src.gauges;
+    Hashtbl.iter
+      (fun name (h : Histogram.t) ->
+        let dst = histogram ~bounds:h.Histogram.bounds into name in
+        Array.iteri
+          (fun i n -> dst.Histogram.buckets.(i) <- dst.Histogram.buckets.(i) + n)
+          h.Histogram.buckets;
+        dst.Histogram.count <- dst.Histogram.count + h.Histogram.count;
+        dst.Histogram.sum <- dst.Histogram.sum +. h.Histogram.sum;
+        if h.Histogram.max > dst.Histogram.max then dst.Histogram.max <- h.Histogram.max)
+      src.histograms;
+    (* [events] is newest-first, so appending src's list after into's
+       keeps each side's chronological order within the merged list. *)
+    if src.events <> [] then begin
+      into.events <- src.events @ into.events;
+      into.num_events <- into.num_events + src.num_events
+    end
+
+  let sorted_bindings tbl value =
+    Hashtbl.fold (fun name x acc -> (name, value x) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+  let counters t = sorted_bindings t.counters Counter.get
+
+  let gauges t = sorted_bindings t.gauges Gauge.get
+end
+
+module Span = struct
+  let with_ (reg : Registry.t) name f =
+    let tid = (Domain.self () :> int) in
+    Registry.push_event reg { name; phase = Begin; ts = Clock.now (); tid };
+    Fun.protect
+      ~finally:(fun () -> Registry.push_event reg { name; phase = End; ts = Clock.now (); tid })
+      f
+
+  let num_events (reg : Registry.t) = reg.Registry.num_events
+end
+
+let ambient_key = Domain.DLS.new_key (fun () -> Registry.create ())
+
+let ambient () = Domain.DLS.get ambient_key
+
+let with_ambient reg f =
+  let old = Domain.DLS.get ambient_key in
+  Domain.DLS.set ambient_key reg;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set ambient_key old) f
+
+module Export = struct
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  (* Shortest float form that still parses as a JSON number. *)
+  let float_str f =
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.6g" f
+
+  let obj buf fields =
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (name, emit) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape name);
+        Buffer.add_string buf "\":";
+        emit buf)
+      fields;
+    Buffer.add_char buf '}'
+
+  let arr buf emit_elt elts =
+    Buffer.add_char buf '[';
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit_elt buf x)
+      elts;
+    Buffer.add_char buf ']'
+
+  let counters_fields (reg : Registry.t) =
+    List.map
+      (fun (name, v) -> (name, fun buf -> Buffer.add_string buf (string_of_int v)))
+      (Registry.counters reg)
+
+  let counters_json reg =
+    let buf = Buffer.create 256 in
+    obj buf (counters_fields reg);
+    Buffer.contents buf
+
+  let histogram_fields (h : Histogram.t) buf =
+    obj buf
+      [
+        ("bounds", fun buf -> arr buf (fun buf f -> Buffer.add_string buf (float_str f)) h.Histogram.bounds);
+        ("buckets", fun buf -> arr buf (fun buf n -> Buffer.add_string buf (string_of_int n)) h.Histogram.buckets);
+        ("count", fun buf -> Buffer.add_string buf (string_of_int h.Histogram.count));
+        ("sum", fun buf -> Buffer.add_string buf (float_str h.Histogram.sum));
+        ("max", fun buf -> Buffer.add_string buf (float_str h.Histogram.max));
+      ]
+
+  let stats_json (reg : Registry.t) =
+    let buf = Buffer.create 1024 in
+    let gauges =
+      List.map
+        (fun (name, v) -> (name, fun buf -> Buffer.add_string buf (float_str v)))
+        (Registry.gauges reg)
+    in
+    let histograms =
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) reg.Registry.histograms []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+      |> List.map (fun (name, h) -> (name, histogram_fields h))
+    in
+    obj buf
+      [
+        ("counters", fun buf -> obj buf (counters_fields reg));
+        ("gauges", fun buf -> obj buf gauges);
+        ("histograms", fun buf -> obj buf histograms);
+      ];
+    Buffer.add_char buf '\n';
+    Buffer.contents buf
+
+  let trace_json (reg : Registry.t) =
+    let events = Array.of_list (List.rev reg.Registry.events) in
+    let t0 = Array.fold_left (fun acc e -> Float.min acc e.ts) Float.infinity events in
+    let t0 = if Float.is_finite t0 then t0 else 0.0 in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    Array.iteri
+      (fun i e ->
+        if i > 0 then Buffer.add_char buf ',';
+        obj buf
+          [
+            ("name", fun buf ->
+                Buffer.add_char buf '"';
+                Buffer.add_string buf (escape e.name);
+                Buffer.add_char buf '"');
+            ("cat", fun buf -> Buffer.add_string buf "\"cec\"");
+            ("ph", fun buf ->
+                Buffer.add_string buf (match e.phase with Begin -> "\"B\"" | End -> "\"E\""));
+            ("ts", fun buf -> Buffer.add_string buf (float_str (1e6 *. (e.ts -. t0))));
+            ("pid", fun buf -> Buffer.add_char buf '1');
+            ("tid", fun buf -> Buffer.add_string buf (string_of_int e.tid));
+          ])
+      events;
+    Buffer.add_string buf "]}\n";
+    Buffer.contents buf
+end

@@ -74,18 +74,35 @@ let lift_chain proof lifted id antecedents pivots =
 let refutation proof ~root =
   if not (Clause.is_empty (R.clause_of proof root)) then
     fail "root %d is not an empty clause" root;
+  let reg = Obs.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "proof.lifts");
   let order = R.reachable proof ~root in
+  Obs.Counter.add (Obs.Registry.counter reg "proof.lift_nodes") (Array.length order);
   let lifted : (R.id, image) Hashtbl.t = Hashtbl.create (Array.length order) in
+  let depth : (R.id, int) Hashtbl.t = Hashtbl.create (Array.length order) in
+  let max_depth = ref 0 in
   Array.iter
     (fun id ->
       let image =
         match R.node proof id with
         | R.Leaf { assumption = true; _ } -> Dropped
         | R.Leaf { clause; assumption = false } -> Kept { id; clause }
-        | R.Chain { antecedents; pivots; _ } -> lift_chain proof lifted id antecedents pivots
+        | R.Chain { antecedents; pivots; _ } ->
+          let d =
+            1
+            + Array.fold_left
+                (fun acc a -> max acc (Option.value ~default:0 (Hashtbl.find_opt depth a)))
+                0 antecedents
+          in
+          Hashtbl.replace depth id d;
+          if d > !max_depth then max_depth := d;
+          lift_chain proof lifted id antecedents pivots
       in
       Hashtbl.add lifted id image)
     order;
+  Obs.Histogram.observe
+    (Obs.Registry.histogram reg "proof.lift_depth")
+    (float_of_int !max_depth);
   match Hashtbl.find lifted root with
   | Dropped -> fail "refutation consisted only of assumptions"
   | Kept { id; clause } -> (id, clause)

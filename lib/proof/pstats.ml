@@ -10,9 +10,15 @@ type t = {
 let of_ids proof ids =
   let max_id = Array.fold_left max 0 ids in
   let depth = Array.make (max_id + 1) 0 in
+  (* Dedupe by node id: a node reachable through several chains (or an
+     id repeated in the input) must be counted once. *)
+  let counted = Array.make (max_id + 1) false in
   let stats = ref { leaves = 0; assumptions = 0; chains = 0; resolutions = 0; literals = 0; depth = 0 } in
   Array.iter
     (fun id ->
+      if counted.(id) then ()
+      else begin
+      counted.(id) <- true;
       match Resolution.node proof id with
       | Resolution.Leaf { assumption; _ } ->
         let s = !stats in
@@ -29,7 +35,8 @@ let of_ids proof ids =
             resolutions = s.resolutions + Array.length antecedents - 1;
             literals = s.literals + Cnf.Clause.size clause;
             depth = max s.depth d;
-          })
+          }
+      end)
     ids;
   !stats
 

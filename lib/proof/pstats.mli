@@ -10,6 +10,11 @@ type t = {
   depth : int;  (** longest path from a leaf to the root *)
 }
 
+(** Statistics over an explicit id set.  Ids are deduped first: a node
+    listed several times — or reachable through several chains when
+    the caller concatenates overlapping cones — is counted once. *)
+val of_ids : Resolution.t -> Resolution.id array -> t
+
 (** Statistics of the sub-DAG rooted at [root]. *)
 val of_root : Resolution.t -> root:Resolution.id -> t
 

@@ -10,11 +10,23 @@ type t = {
   mutable nodes : node array;
   mutable size : int;
   leaf_index : (Clause.t, id) Hashtbl.t;
+  (* Ambient-registry handles resolved at [create]: node creation is a
+     hot path during conflict analysis. *)
+  o_leaves : Obs.Counter.t;
+  o_chains : Obs.Counter.t;
 }
 
 let dummy = Leaf { clause = Clause.empty; assumption = false }
 
-let create () = { nodes = Array.make 64 dummy; size = 0; leaf_index = Hashtbl.create 64 }
+let create () =
+  let reg = Obs.ambient () in
+  {
+    nodes = Array.make 64 dummy;
+    size = 0;
+    leaf_index = Hashtbl.create 64;
+    o_leaves = Obs.Registry.counter reg "proof.leaves";
+    o_chains = Obs.Registry.counter reg "proof.chains";
+  }
 
 let size t = t.size
 
@@ -29,13 +41,17 @@ let append t n =
   t.size - 1
 
 let add_leaf ?(assumption = false) t clause =
-  if assumption then append t (Leaf { clause; assumption = true })
+  if assumption then begin
+    Obs.Counter.incr t.o_leaves;
+    append t (Leaf { clause; assumption = true })
+  end
   else
     match Hashtbl.find_opt t.leaf_index clause with
     | Some id -> id
     | None ->
       let id = append t (Leaf { clause; assumption = false }) in
       Hashtbl.add t.leaf_index clause id;
+      Obs.Counter.incr t.o_leaves;
       id
 
 let add_chain t ~clause ~antecedents ~pivots =
@@ -45,6 +61,7 @@ let add_chain t ~clause ~antecedents ~pivots =
   Array.iter
     (fun a -> if a < 0 || a >= t.size then invalid_arg "Resolution.add_chain: bad antecedent id")
     antecedents;
+  Obs.Counter.incr t.o_chains;
   append t (Chain { clause; antecedents; pivots })
 
 let node t id =

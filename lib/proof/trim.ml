@@ -4,6 +4,9 @@ let cone proof ~root =
     Resolution.add_leaf ~assumption:(Resolution.is_assumption proof src_id) dst clause
   in
   let root' = Resolution.import dst proof ~root ~map_leaf in
+  let reg = Obs.ambient () in
+  Obs.Counter.add (Obs.Registry.counter reg "proof.trim_input") (Resolution.size proof);
+  Obs.Counter.add (Obs.Registry.counter reg "proof.trim_kept") (Resolution.size dst);
   (dst, root')
 
 let sizes proof ~root =

@@ -45,12 +45,21 @@ type t = {
   mutable decisions : int;
   mutable propagations : int;
   mutable learned : int;
+  mutable restarts : int;
+  (* Ambient-registry handles, resolved once at [create] so the hot
+     loops pay a single field increment. *)
+  o_conflicts : Obs.Counter.t;
+  o_decisions : Obs.Counter.t;
+  o_propagations : Obs.Counter.t;
+  o_restarts : Obs.Counter.t;
+  o_learned_size : Obs.Histogram.t;
 }
 
 let dummy_clause = { lits = [||]; pid = -1; learned = false; act = 0.0; deleted = false }
 
 let create ?proof ?(reduce_base = 4000) () =
   let proof = match proof with Some p -> p | None -> R.create () in
+  let reg = Obs.ambient () in
   {
     proof;
     arena = Array.make 64 dummy_clause;
@@ -78,6 +87,12 @@ let create ?proof ?(reduce_base = 4000) () =
     decisions = 0;
     propagations = 0;
     learned = 0;
+    restarts = 0;
+    o_conflicts = Obs.Registry.counter reg "sat.conflicts";
+    o_decisions = Obs.Registry.counter reg "sat.decisions";
+    o_propagations = Obs.Registry.counter reg "sat.propagations";
+    o_restarts = Obs.Registry.counter reg "sat.restarts";
+    o_learned_size = Obs.Registry.histogram reg "sat.learned_clause_size";
   }
 
 let proof s = s.proof
@@ -86,6 +101,7 @@ let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
 let num_propagations s = s.propagations
 let num_learned s = s.learned
+let num_restarts s = s.restarts
 
 let order s =
   match s.order with
@@ -273,6 +289,7 @@ let propagate s =
       let p = Veci.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
       s.propagations <- s.propagations + 1;
+      Obs.Counter.incr s.o_propagations;
       let false_lit = Lit.neg p in
       let wl = s.watches.(false_lit) in
       let n = Veci.size wl in
@@ -483,6 +500,7 @@ let analyze s confl_idx =
 let record_learned s uip_lit kept blevel pid =
   s.learned <- s.learned + 1;
   let n = 1 + Array.length kept in
+  Obs.Histogram.observe s.o_learned_size (float_of_int n);
   if n = 1 then begin
     (* Unit learned clause: assert at level 0. *)
     cancel_until s 0;
@@ -605,6 +623,7 @@ let solve ?max_conflicts ?(assumptions = []) s =
       let confl = propagate s in
       if confl >= 0 then begin
         s.conflicts <- s.conflicts + 1;
+        Obs.Counter.incr s.o_conflicts;
         if decision_level s = 0 then begin
           let cr = clause_ref s confl in
           let root = derive_empty_at_level0 s (Clause.of_array cr.lits) cr.pid in
@@ -622,6 +641,8 @@ let solve ?max_conflicts ?(assumptions = []) s =
         end
       end
       else if !restart_budget <= 0 && decision_level s > 0 then begin
+        s.restarts <- s.restarts + 1;
+        Obs.Counter.incr s.o_restarts;
         incr restart_idx;
         restart_budget := 100 * Luby.term !restart_idx;
         cancel_until s 0;
@@ -646,6 +667,7 @@ let solve ?max_conflicts ?(assumptions = []) s =
         if v < 0 then Sat (model s)
         else begin
           s.decisions <- s.decisions + 1;
+          Obs.Counter.incr s.o_decisions;
           Veci.push s.trail_lim (Veci.size s.trail);
           enqueue s (Lit.make v ~neg:(not s.phase.(v))) (-1);
           loop ()

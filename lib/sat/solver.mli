@@ -72,3 +72,4 @@ val num_conflicts : t -> int
 val num_decisions : t -> int
 val num_propagations : t -> int
 val num_learned : t -> int
+val num_restarts : t -> int

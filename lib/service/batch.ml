@@ -39,8 +39,8 @@ let parse_manifest path =
     in
     collect [] 1 (String.split_on_char '\n' text)
 
-let run ~store ~engine ?timeout_ms ?(on_result = fun _ -> ()) pairs =
-  let t0 = Unix.gettimeofday () in
+let run ?(clock = Unix.gettimeofday) ~store ~engine ?timeout_ms ?(on_result = fun _ -> ()) pairs =
+  let t0 = clock () in
   let hits = ref 0 and proved = ref 0 and cex = ref 0 and undecided = ref 0 and errors = ref 0 in
   let finish_pair golden_path revised_path started status cached detail =
     (match status with
@@ -55,13 +55,13 @@ let run ~store ~engine ?timeout_ms ?(on_result = fun _ -> ()) pairs =
         revised_path;
         status;
         cached;
-        ms = 1000.0 *. (Unix.gettimeofday () -. started);
+        ms = 1000.0 *. (clock () -. started);
         detail;
       }
   in
   List.iter
     (fun (golden_path, revised_path) ->
-      let started = Unix.gettimeofday () in
+      let started = clock () in
       match (Server.load_netlist golden_path, Server.load_netlist revised_path) with
       | Error msg, _ | _, Error msg -> finish_pair golden_path revised_path started "error" false msg
       | Ok a, Ok b ->
@@ -86,7 +86,7 @@ let run ~store ~engine ?timeout_ms ?(on_result = fun _ -> ()) pairs =
             (* Not storable, hence not loadable; kept for exhaustiveness. *)
             finish_pair golden_path revised_path started "undecided" true ""
           | None -> (
-            match Engine.solve ?deadline engine a b with
+            match Engine.solve ~clock ?deadline engine a b with
             | exception Invalid_argument msg ->
               finish_pair golden_path revised_path started "error" false msg
             | result ->
@@ -110,5 +110,5 @@ let run ~store ~engine ?timeout_ms ?(on_result = fun _ -> ()) pairs =
     counterexamples = !cex;
     undecided = !undecided;
     errors = !errors;
-    ms = 1000.0 *. (Unix.gettimeofday () -. t0);
+    ms = 1000.0 *. (clock () -. t0);
   }

@@ -31,6 +31,7 @@ val parse_manifest : string -> ((string * string) list, string) result
     invoking [on_result] per pair in order.  [timeout_ms] is a
     per-pair deadline. *)
 val run :
+  ?clock:(unit -> float) ->
   store:Store.t ->
   engine:Engine.config ->
   ?timeout_ms:int ->

@@ -27,9 +27,9 @@ type result = {
   timed_out : bool;
 }
 
-let solve ?deadline config golden revised =
+let solve ?(clock = Unix.gettimeofday) ?deadline config golden revised =
   let expired () =
-    match deadline with Some d -> Unix.gettimeofday () >= d | None -> false
+    match deadline with Some d -> clock () >= d | None -> false
   in
   let escalation = max 2 config.escalation in
   let max_rounds = max 1 config.max_rounds in

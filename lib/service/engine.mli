@@ -37,9 +37,11 @@ type result = {
   timed_out : bool;  (** [Undecided] because the deadline expired *)
 }
 
-(** [solve ?deadline config golden revised] decides the pair.
-    [deadline] is an absolute [Unix.gettimeofday] instant; when it has
-    passed before any round starts, the result is an immediate
-    [Undecided] with [timed_out = true] and no work done.
+(** [solve ?clock ?deadline config golden revised] decides the pair.
+    [deadline] is an absolute instant on [clock] (default
+    [Unix.gettimeofday]); when it has passed before any round starts,
+    the result is an immediate [Undecided] with [timed_out = true] and
+    no work done.  Tests inject a fake [clock] to make deadline
+    behaviour deterministic.
     @raise Invalid_argument if the interfaces differ. *)
-val solve : ?deadline:float -> config -> Aig.t -> Aig.t -> result
+val solve : ?clock:(unit -> float) -> ?deadline:float -> config -> Aig.t -> Aig.t -> result

@@ -25,90 +25,93 @@ type snapshot = {
   solve_latency : latency;
 }
 
-type agg = {
-  mutable n : int;
-  mutable total : float;
-  mutable max : float;
-}
-
+(* The counters live in an {!Obs.Registry.t}, so the service shares the
+   observability pipeline (stats/trace exporters) with the rest of the
+   tree.  A registry is unsynchronized by design; here the accept loop
+   and worker domains record into one registry, so a mutex serializes
+   every operation (the pre-obs behaviour, unchanged). *)
 type t = {
-  mutable requests : int;
-  mutable proved : int;
-  mutable counterexamples : int;
-  mutable undecided : int;
-  mutable timeouts : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable cancelled : int;
-  mutable rejected : int;
-  mutable errors : int;
-  hit_ms : agg;
-  solve_ms : agg;
+  reg : Obs.Registry.t;
+  requests : Obs.Counter.t;
+  proved : Obs.Counter.t;
+  counterexamples : Obs.Counter.t;
+  undecided : Obs.Counter.t;
+  timeouts : Obs.Counter.t;
+  hits : Obs.Counter.t;
+  misses : Obs.Counter.t;
+  cancelled : Obs.Counter.t;
+  rejected : Obs.Counter.t;
+  errors : Obs.Counter.t;
+  hit_ms : Obs.Histogram.t;
+  solve_ms : Obs.Histogram.t;
   lock : Mutex.t;
 }
 
-let create () =
+let of_registry reg =
+  let c = Obs.Registry.counter reg in
   {
-    requests = 0;
-    proved = 0;
-    counterexamples = 0;
-    undecided = 0;
-    timeouts = 0;
-    hits = 0;
-    misses = 0;
-    cancelled = 0;
-    rejected = 0;
-    errors = 0;
-    hit_ms = { n = 0; total = 0.0; max = 0.0 };
-    solve_ms = { n = 0; total = 0.0; max = 0.0 };
+    reg;
+    requests = c "service.requests";
+    proved = c "service.proved";
+    counterexamples = c "service.counterexamples";
+    undecided = c "service.undecided";
+    timeouts = c "service.timeouts";
+    hits = c "service.store_hits";
+    misses = c "service.store_misses";
+    cancelled = c "service.cancelled";
+    rejected = c "service.rejected";
+    errors = c "service.errors";
+    hit_ms = Obs.Registry.histogram reg "service.hit_ms";
+    solve_ms = Obs.Registry.histogram reg "service.solve_ms";
     lock = Mutex.create ();
   }
 
+let create () = of_registry (Obs.Registry.create ())
+
+let registry t = t.reg
+
 let with_lock t f = Mutex.protect t.lock f
 
-let incr_requests t = with_lock t (fun () -> t.requests <- t.requests + 1)
-
-let observe agg ms =
-  agg.n <- agg.n + 1;
-  agg.total <- agg.total +. ms;
-  if ms > agg.max then agg.max <- ms
+let incr_requests t = with_lock t (fun () -> Obs.Counter.incr t.requests)
 
 let record t outcome ~cached ~ms =
   with_lock t (fun () ->
       (match outcome with
-      | Proved -> t.proved <- t.proved + 1
-      | Counterexample -> t.counterexamples <- t.counterexamples + 1
-      | Undecided -> t.undecided <- t.undecided + 1
-      | Timeout -> t.timeouts <- t.timeouts + 1);
+      | Proved -> Obs.Counter.incr t.proved
+      | Counterexample -> Obs.Counter.incr t.counterexamples
+      | Undecided -> Obs.Counter.incr t.undecided
+      | Timeout -> Obs.Counter.incr t.timeouts);
       if cached then begin
-        t.hits <- t.hits + 1;
-        observe t.hit_ms ms
+        Obs.Counter.incr t.hits;
+        Obs.Histogram.observe t.hit_ms ms
       end
       else begin
-        t.misses <- t.misses + 1;
-        observe t.solve_ms ms
+        Obs.Counter.incr t.misses;
+        Obs.Histogram.observe t.solve_ms ms
       end)
 
-let record_cancelled t = with_lock t (fun () -> t.cancelled <- t.cancelled + 1)
-let record_rejected t = with_lock t (fun () -> t.rejected <- t.rejected + 1)
-let record_error t = with_lock t (fun () -> t.errors <- t.errors + 1)
+let record_cancelled t = with_lock t (fun () -> Obs.Counter.incr t.cancelled)
+let record_rejected t = with_lock t (fun () -> Obs.Counter.incr t.rejected)
+let record_error t = with_lock t (fun () -> Obs.Counter.incr t.errors)
+
+let latency_of h =
+  { count = Obs.Histogram.count h; total_ms = Obs.Histogram.sum h; max_ms = Obs.Histogram.max_value h }
 
 let snapshot t =
   with_lock t (fun () ->
       {
-        requests = t.requests;
-        proved = t.proved;
-        counterexamples = t.counterexamples;
-        undecided = t.undecided;
-        timeouts = t.timeouts;
-        hits = t.hits;
-        misses = t.misses;
-        cancelled = t.cancelled;
-        rejected = t.rejected;
-        errors = t.errors;
-        hit_latency = { count = t.hit_ms.n; total_ms = t.hit_ms.total; max_ms = t.hit_ms.max };
-        solve_latency =
-          { count = t.solve_ms.n; total_ms = t.solve_ms.total; max_ms = t.solve_ms.max };
+        requests = Obs.Counter.get t.requests;
+        proved = Obs.Counter.get t.proved;
+        counterexamples = Obs.Counter.get t.counterexamples;
+        undecided = Obs.Counter.get t.undecided;
+        timeouts = Obs.Counter.get t.timeouts;
+        hits = Obs.Counter.get t.hits;
+        misses = Obs.Counter.get t.misses;
+        cancelled = Obs.Counter.get t.cancelled;
+        rejected = Obs.Counter.get t.rejected;
+        errors = Obs.Counter.get t.errors;
+        hit_latency = latency_of t.hit_ms;
+        solve_latency = latency_of t.solve_ms;
       })
 
 let avg (l : latency) = if l.count = 0 then 0.0 else l.total_ms /. float_of_int l.count

@@ -1,5 +1,7 @@
 (** Request-level counters and latency aggregates for the
-    certification service.  Store-level counters (hits, evictions,
+    certification service, recorded into an {!Obs.Registry.t} so the
+    service shares the observability pipeline (stats/trace exporters)
+    with the rest of the tree.  Store-level counters (hits, evictions,
     bytes) live in {!Store.stats}; the server merges both into one
     [stats] response.  All operations are thread-safe (one mutex), so
     worker domains and the accept loop can record concurrently. *)
@@ -34,6 +36,14 @@ type snapshot = {
 type t
 
 val create : unit -> t
+
+(** Record into an existing registry ([service.*] counters and
+    histograms), e.g. the one the server exports via [--stats-out]. *)
+val of_registry : Obs.Registry.t -> t
+
+(** The backing registry (for the exporters). *)
+val registry : t -> Obs.Registry.t
+
 val incr_requests : t -> unit
 
 (** Record a completed check request: its outcome, whether it was

@@ -11,6 +11,9 @@ type config = {
   engine : Engine.config;
   default_timeout_ms : int option;
   log : bool;
+  clock : unit -> float;
+  stats_out : string option;
+  trace_out : string option;
 }
 
 let default_config ~socket_path ~store_dir =
@@ -24,6 +27,9 @@ let default_config ~socket_path ~store_dir =
     engine = Engine.default_config;
     default_timeout_ms = None;
     log = true;
+    clock = Unix.gettimeofday;
+    stats_out = None;
+    trace_out = None;
   }
 
 (* One accepted [check] request, parked on the bounded queue.  The
@@ -131,10 +137,10 @@ let check_response ~key ~cached ~ms ~conflicts ~timed_out verdict =
 let log st fmt =
   if st.cfg.log then Format.eprintf ("cecd: " ^^ fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
 
-let ms_since t0 = 1000.0 *. (Unix.gettimeofday () -. t0)
+let ms_since st t0 = 1000.0 *. (st.cfg.clock () -. t0)
 
 let process st job =
-  let t0 = Unix.gettimeofday () in
+  let t0 = st.cfg.clock () in
   let expired = match job.deadline with Some d -> t0 >= d | None -> false in
   if expired then begin
     Metrics.record_cancelled st.metrics;
@@ -152,20 +158,23 @@ let process st job =
   else
     match Store.find st.store job.key ~golden:job.golden ~revised:job.revised with
     | Some verdict ->
-      let ms = ms_since t0 in
+      let ms = ms_since st t0 in
       Metrics.record st.metrics (outcome_of_verdict ~timed_out:false verdict) ~cached:true ~ms;
       log st "hit %s (%s, %.2fms)" (Key.to_hex job.key)
         (status_of_verdict ~timed_out:false verdict)
         ms;
       send job.fd (check_response ~key:job.key ~cached:true ~ms ~conflicts:0 ~timed_out:false verdict)
     | None -> (
-      match Engine.solve ?deadline:job.deadline st.cfg.engine job.golden job.revised with
+      match
+        Engine.solve ~clock:st.cfg.clock ?deadline:job.deadline st.cfg.engine job.golden
+          job.revised
+      with
       | exception Invalid_argument msg ->
         Metrics.record_error st.metrics;
         send job.fd (P.error_response msg)
       | result ->
         Store.store st.store job.key result.Engine.verdict;
-        let ms = ms_since t0 in
+        let ms = ms_since st t0 in
         Metrics.record st.metrics
           (outcome_of_verdict ~timed_out:result.Engine.timed_out result.Engine.verdict)
           ~cached:false ~ms;
@@ -240,7 +249,7 @@ let handle_connection st fd =
           let key = Key.of_pair a b in
           let timeout = match timeout_ms with Some _ as t -> t | None -> st.cfg.default_timeout_ms in
           let deadline =
-            Option.map (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.0)) timeout
+            Option.map (fun ms -> st.cfg.clock () +. (float_of_int ms /. 1000.0)) timeout
           in
           Mutex.lock st.lock;
           if Queue.length st.queue >= max 1 st.cfg.queue_capacity then begin
@@ -293,7 +302,15 @@ let run cfg =
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
-  let workers = Array.init (max 1 cfg.workers) (fun _ -> Domain.spawn (fun () -> worker st)) in
+  (* Each worker domain records observability (solver, sweep, proof
+     counters) into its own registry; the registries are merged into
+     the metrics registry after the joins, so the exported stats cover
+     the whole pipeline, not just request-level counters. *)
+  let worker_regs = Array.init (max 1 cfg.workers) (fun _ -> Obs.Registry.create ()) in
+  let workers =
+    Array.init (max 1 cfg.workers) (fun i ->
+        Domain.spawn (fun () -> Obs.with_ambient worker_regs.(i) (fun () -> worker st)))
+  in
   log st "listening on %s (store %s, %d worker(s))" cfg.socket_path cfg.store_dir
     (Array.length workers);
   while not (Atomic.get st.stop) do
@@ -317,6 +334,11 @@ let run cfg =
   Condition.broadcast st.nonempty;
   Mutex.unlock st.lock;
   Array.iter Domain.join workers;
+  let reg = Metrics.registry st.metrics in
+  Array.iter (fun r -> Obs.Registry.merge_into ~into:reg r) worker_regs;
+  let write_file path data = Out_channel.with_open_text path (fun oc -> output_string oc data) in
+  Option.iter (fun path -> write_file path (Obs.Export.stats_json reg)) cfg.stats_out;
+  Option.iter (fun path -> write_file path (Obs.Export.trace_json reg)) cfg.trace_out;
   Store.flush store;
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   Sys.set_signal Sys.sigint old_int;

@@ -34,6 +34,16 @@ type config = {
   default_timeout_ms : int option;
       (** deadline for requests that do not carry their own *)
   log : bool;  (** per-request and shutdown logging to stderr *)
+  clock : unit -> float;
+      (** time source for deadlines and latencies (default
+          [Unix.gettimeofday]); tests inject a fake clock to make the
+          deadline paths deterministic *)
+  stats_out : string option;
+      (** write {!Obs.Export.stats_json} of the full pipeline registry
+          (request metrics + merged worker-domain counters) here at
+          shutdown *)
+  trace_out : string option;
+      (** write {!Obs.Export.trace_json} here at shutdown *)
 }
 
 (** One worker, queue of 64, paranoid, unbounded store, no default

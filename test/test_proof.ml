@@ -174,6 +174,33 @@ let test_stats () =
   Alcotest.(check int) "depth" 2 s.Proof.Pstats.depth;
   Alcotest.(check int) "literals: (b) + (~b) + ()" 2 s.Proof.Pstats.literals
 
+let test_stats_dedupes_ids () =
+  (* A leaf shared by two chains, handed to [of_ids] through an id
+     array that also repeats every id: each node must be counted
+     exactly once (the pre-fix code counted per occurrence). *)
+  let proof = R.create () in
+  let shared = R.add_leaf proof (Clause.of_list [ nlit 0; lit 1 ]) in
+  let a = R.add_leaf proof (Clause.singleton (lit 0)) in
+  let nb = R.add_leaf proof (Clause.singleton (nlit 1)) in
+  let s1 =
+    R.add_chain proof ~clause:(Clause.singleton (lit 1)) ~antecedents:[| shared; a |]
+      ~pivots:[| 0 |]
+  in
+  let s2 =
+    R.add_chain proof ~clause:(Clause.singleton (nlit 0)) ~antecedents:[| shared; nb |]
+      ~pivots:[| 1 |]
+  in
+  let ids = [| shared; a; nb; s1; s2 |] in
+  let doubled = Array.append ids ids in
+  let once = Proof.Pstats.of_ids proof ids in
+  let twice = Proof.Pstats.of_ids proof doubled in
+  Alcotest.(check int) "leaves counted once" 3 once.Proof.Pstats.leaves;
+  Alcotest.(check int) "chains counted once" 2 once.Proof.Pstats.chains;
+  Alcotest.(check int) "resolutions counted once" 2 once.Proof.Pstats.resolutions;
+  Alcotest.(check bool) "duplicated ids change nothing" true (once = twice);
+  (* [of_proof] covers the same five nodes, so it must agree. *)
+  Alcotest.(check bool) "of_proof agrees" true (Proof.Pstats.of_proof proof = once)
+
 let test_trace_roundtrip () =
   let proof, root = hand_refutation () in
   let text = Proof.Export.trace_to_string proof ~root in
@@ -283,6 +310,7 @@ let base_suites =
         Alcotest.test_case "lift without assumptions" `Quick test_lift_no_assumptions_is_identity;
         Alcotest.test_case "trim" `Quick test_trim;
         Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "stats dedupe ids" `Quick test_stats_dedupes_ids;
         Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
         Alcotest.test_case "drup export" `Quick test_drup_export;
         Alcotest.test_case "import stitches lemmas" `Quick test_import_stitches_lemma;

@@ -342,16 +342,52 @@ let test_store_lru_eviction () =
       Alcotest.(check bool) "newest survives" true (Store.mem store (key_of 8));
       Alcotest.(check bool) "oldest evicted" false (Store.mem store (key_of 1)))
 
+(* --- fake clocks --- *)
+
+(* Every call returns [step] more than the last: deadline paths fire
+   deterministically, with no real waiting and no dependence on machine
+   speed.  Thread-safe, so a server config can share one across its
+   accept loop and worker domains. *)
+let ticking_clock ?(start = 0.0) ~step () =
+  let lock = Mutex.create () and t = ref start in
+  fun () ->
+    Mutex.protect lock (fun () ->
+        let v = !t in
+        t := v +. step;
+        v)
+
 (* --- engine --- *)
 
 let test_engine_expired_deadline () =
   let golden, revised, _ = equivalent_pair () in
   let result =
-    Engine.solve ~deadline:(Unix.gettimeofday () -. 1.0) Engine.default_config golden revised
+    Engine.solve
+      ~clock:(fun () -> 100.0)
+      ~deadline:100.0 Engine.default_config golden revised
   in
   Alcotest.(check bool) "timed out" true result.Engine.timed_out;
   Alcotest.(check bool) "undecided" true (result.Engine.verdict = Cec.Undecided);
   Alcotest.(check int) "no rounds run" 0 result.Engine.rounds
+
+let test_engine_deadline_expires_between_rounds () =
+  (* Budget 1 cannot decide this pair, so escalation would normally run
+     more rounds; the clock ticks 10 s per deadline check, so the check
+     before round 2 (t = 110 >= 105) cancels the escalation. *)
+  let golden = Circuits.Multiplier.array 3 and revised = Circuits.Multiplier.shift_add 3 in
+  let clock = ticking_clock ~start:100.0 ~step:10.0 () in
+  let config =
+    {
+      Engine.default_config with
+      Engine.engine = Cec.Monolithic;
+      budget = Some 1;
+      escalation = 2;
+      max_rounds = 10;
+    }
+  in
+  let result = Engine.solve ~clock ~deadline:105.0 config golden revised in
+  Alcotest.(check bool) "timed out" true result.Engine.timed_out;
+  Alcotest.(check bool) "undecided" true (result.Engine.verdict = Cec.Undecided);
+  Alcotest.(check int) "exactly one round ran" 1 result.Engine.rounds
 
 let test_engine_budget_exhaustion () =
   let golden = Circuits.Multiplier.array 3 and revised = Circuits.Multiplier.shift_add 3 in
@@ -444,6 +480,35 @@ let test_batch_cold_then_warm () =
           if r.Batch.status = "equivalent" || r.Batch.status = "inequivalent" then
             Alcotest.(check bool) "warm results cached" true r.Batch.cached)
         !results)
+
+let test_batch_fake_clock_timeout () =
+  with_temp_dir "cecd-batch-clock" (fun dir ->
+      let golden, revised, _ = equivalent_pair () in
+      let path name g =
+        let p = Filename.concat dir name in
+        Aig.Aiger.write_file p g;
+        p
+      in
+      let pairs = [ (path "g.aig" golden, path "r.aig" revised) ] in
+      let store = Store.create ~dir:(Filename.concat dir "store") () in
+      (* The 5 s per-pair deadline is shorter than one 10 s clock tick,
+         so the engine's first deadline check is already past due: the
+         pair times out without solving, and the reported latency is a
+         pure function of the injected clock. *)
+      let clock = ticking_clock ~start:0.0 ~step:10.0 () in
+      let results = ref [] in
+      let summary =
+        Batch.run ~clock ~store ~engine:Engine.default_config ~timeout_ms:5000
+          ~on_result:(fun r -> results := r :: !results)
+          pairs
+      in
+      Alcotest.(check int) "timeout counted as undecided" 1 summary.Batch.undecided;
+      Alcotest.(check int) "nothing proved" 0 summary.Batch.proved;
+      match !results with
+      | [ r ] ->
+        Alcotest.(check string) "status" "timeout" r.Batch.status;
+        Alcotest.(check (float 1e-6)) "latency from the injected clock" 20000.0 r.Batch.ms
+      | _ -> Alcotest.fail "expected exactly one result")
 
 (* --- the daemon, end to end over a real socket --- *)
 
@@ -557,6 +622,52 @@ let test_server_end_to_end () =
       Alcotest.(check int) "store kept one entry" 1 store_stats.Store.entries;
       Alcotest.(check int) "store saw the corruption" 1 store_stats.Store.corrupt)
 
+(* The server's deadline machinery driven entirely by an injected
+   clock: every clock read advances time by 1000 s, so a request with a
+   generous 60 s budget has always expired by the time a worker picks
+   it up — the cancellation path runs deterministically, with no
+   sleeping and no real deadline racing.  The same run exercises the
+   shutdown-time observability exports. *)
+let test_server_fake_clock_deadline () =
+  with_temp_dir "cecd-clock" (fun dir ->
+      let golden, revised, _ = equivalent_pair () in
+      let golden_path = Filename.concat dir "golden.aig" in
+      let revised_path = Filename.concat dir "revised.aig" in
+      Aig.Aiger.write_file golden_path golden;
+      Aig.Aiger.write_file revised_path revised;
+      let socket_path = Filename.concat dir "cecd.sock" in
+      let stats_path = Filename.concat dir "stats.json" in
+      let trace_path = Filename.concat dir "trace.json" in
+      let cfg =
+        {
+          (Server.default_config ~socket_path ~store_dir:(Filename.concat dir "store")) with
+          Server.log = false;
+          clock = ticking_clock ~start:1.0e6 ~step:1000.0 ();
+          stats_out = Some stats_path;
+          trace_out = Some trace_path;
+        }
+      in
+      let server = Domain.spawn (fun () -> Server.run cfg) in
+      wait_for_server socket_path;
+      let r =
+        request_exn socket_path (Printf.sprintf "check %s %s 60000" golden_path revised_path)
+      in
+      Alcotest.(check string) "cancelled without solving" "timeout" (field_exn "status" r);
+      ignore (request_exn socket_path "shutdown");
+      let snapshot, _ = Domain.join server in
+      Alcotest.(check int) "one cancellation" 1 snapshot.Metrics.cancelled;
+      Alcotest.(check int) "nothing solved" 0 snapshot.Metrics.proved;
+      (* Both exports were written at shutdown, are valid JSON, and the
+         stats cover the request metrics. *)
+      let stats = read_file stats_path in
+      Test_obs.Json.check_valid "server stats export" stats;
+      Alcotest.(check bool) "cancellation visible in the export" true
+        (let sub = "\"service.cancelled\":1" in
+         let n = String.length stats and m = String.length sub in
+         let rec find i = i + m <= n && (String.sub stats i m = sub || find (i + 1)) in
+         find 0);
+      Test_obs.Json.check_valid "server trace export" (read_file trace_path))
+
 let suites =
   [
     ( "service-key",
@@ -593,6 +704,8 @@ let suites =
     ( "service-engine",
       [
         Alcotest.test_case "expired deadline short-circuits" `Quick test_engine_expired_deadline;
+        Alcotest.test_case "fake clock expires between rounds" `Quick
+          test_engine_deadline_expires_between_rounds;
         Alcotest.test_case "budget exhaustion stays sound" `Quick test_engine_budget_exhaustion;
         Alcotest.test_case "escalation decides small pairs" `Quick
           test_engine_escalation_decides;
@@ -601,7 +714,13 @@ let suites =
       [
         Alcotest.test_case "manifest parsing" `Quick test_batch_manifest_parsing;
         Alcotest.test_case "cold run then warm run" `Quick test_batch_cold_then_warm;
+        Alcotest.test_case "fake clock times out deterministically" `Quick
+          test_batch_fake_clock_timeout;
       ] );
     ( "service-daemon",
-      [ Alcotest.test_case "full life cycle over a socket" `Quick test_server_end_to_end ] );
+      [
+        Alcotest.test_case "full life cycle over a socket" `Quick test_server_end_to_end;
+        Alcotest.test_case "fake-clock deadlines and shutdown exports" `Quick
+          test_server_fake_clock_deadline;
+      ] );
   ]
