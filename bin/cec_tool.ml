@@ -6,7 +6,7 @@
      miter       build the miter of two AIGER files
      dimacs      export a single-output miter's CNF in DIMACS
      cec         check two AIGER files for equivalence (with proofs)
-     check-proof validate a resolution trace against a miter
+     check-proof validate a certificate (ASCII trace or CECB binary)
      suite       list the built-in benchmark suite
      serve       run the certification daemon over a Unix socket
      client      submit one request to a running daemon
@@ -29,11 +29,13 @@ let read_aiger path =
 let netlist_to_string ?(blif = false) g =
   if blif then Aig.Blif.to_string g else Aig.Aiger.to_string g
 
+(* Binary mode: certificate files may be CECB bytes, and text outputs
+   must not grow CRLF endings on any platform. *)
 let write_text path text =
   match path with
   | None -> print_string text
   | Some path ->
-    let oc = open_out path in
+    let oc = open_out_bin path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text)
 
 (* Write the observability registry to the requested export files. *)
@@ -159,7 +161,7 @@ let print_partition (p : Parallel.partition) =
     p.Parallel.sat_calls
 
 let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs stats_out
-    trace_out proof_out validate =
+    trace_out proof_out cert_format validate =
   match (read_aiger path_a, read_aiger path_b) with
   | Error msg, _ | _, Error msg ->
     prerr_endline msg;
@@ -215,9 +217,14 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
           Format.printf "proof: %a@." Proof.Pstats.pp stats;
           (match proof_out with
           | None -> ()
-          | Some path ->
-            let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
-            write_text (Some path) (Proof.Export.trace_to_string trimmed ~root));
+          | Some path -> (
+            match cert_format with
+            | Service.Store.Bin ->
+              (* [Binfmt.encode] trims to the reachable cone itself. *)
+              write_text (Some path) (Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root)
+            | Service.Store.Trace ->
+              let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+              write_text (Some path) (Proof.Export.trace_to_string trimmed ~root)));
           if validate then begin
             match Cec_core.Certify.validate_against cert a b with
             | Ok chains -> Format.printf "certificate validated (%d chains)@." chains
@@ -244,6 +251,28 @@ let run_check_proof miter_path trace_path =
     | exception Sys_error msg ->
       prerr_endline msg;
       2
+    | text when Proof.Binfmt.is_binary text -> (
+      (* CECB binary certificate: validate in one bounded-memory pass.
+         Byte-level corruption exits 2 (parse error), a well-formed but
+         invalid proof exits 3 — same contract as the ASCII path. *)
+      match Cnf.Tseitin.miter_formula miter with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | formula -> (
+        match Proof.Stream_check.check ~formula text with
+        | Ok st ->
+          Format.printf "OK: %d chains verified against %s (binary, peak %d of %d nodes live)@."
+            st.Proof.Stream_check.chains miter_path st.Proof.Stream_check.peak_live
+            st.Proof.Stream_check.nodes;
+          0
+        | Error e when e.Proof.Stream_check.malformed ->
+          Printf.eprintf "%s: parse error: %s\n" trace_path
+            (Format.asprintf "%a" Proof.Stream_check.pp_error e);
+          2
+        | Error e ->
+          Format.printf "REJECTED: %a@." Proof.Stream_check.pp_error e;
+          3))
     | text -> (
     (* A malformed trace must exit cleanly (code 2) with a parse-error
        message, never an uncaught exception: [trace_of_string] raises
@@ -491,8 +520,8 @@ let run_client socket ping stats shutdown timeout_ms golden revised =
       prerr_endline "client: expected GOLDEN and REVISED paths (or --ping/--stats/--shutdown)";
       2
 
-let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms stats_out
-    trace_out =
+let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget timeout_ms
+    stats_out trace_out =
   match Service.Batch.parse_manifest manifest with
   | Error msg ->
     prerr_endline msg;
@@ -500,7 +529,7 @@ let run_batch manifest store_dir capacity_mb no_paranoid jobs budget timeout_ms 
   | Ok pairs ->
     let store =
       Service.Store.create ?capacity_bytes:(mb_to_bytes capacity_mb) ~paranoid:(not no_paranoid)
-        ~dir:store_dir ()
+        ~cert_format ~dir:store_dir ()
     in
     let on_result (r : Service.Batch.line_result) =
       Format.printf "%-12s %s%s %s %s%s@." r.Service.Batch.status
@@ -559,6 +588,14 @@ let trace_out_arg =
         ~doc:
           "Write the recorded spans as Chrome trace_event JSON (load in chrome://tracing or \
            Perfetto).")
+
+let cert_format_conv =
+  Arg.enum [ ("trace", Service.Store.Trace); ("bin", Service.Store.Bin) ]
+
+(* `cec --proof` keeps writing ASCII traces unless asked (they diff and
+   grep); the store defaults to the compact binary format. *)
+let cert_format_arg ~default ~doc =
+  Arg.(value & opt cert_format_conv default & info [ "cert-format" ] ~docv:"FORMAT" ~doc)
 
 let gen_cmd =
   let spec =
@@ -621,6 +658,13 @@ let cec_cmd =
       value & flag
       & info [ "validate" ] ~doc:"Re-check the certificate against a rebuilt miter CNF.")
   in
+  let cert_format =
+    cert_format_arg ~default:Service.Store.Trace
+      ~doc:
+        "Format for $(b,--proof): $(b,trace) (ASCII resolution trace, the default) or $(b,bin) \
+         (compact CECB binary certificate with deletion records).  $(b,check-proof) \
+         auto-detects either."
+  in
   let incremental =
     Arg.(
       value & flag
@@ -649,14 +693,18 @@ let cec_cmd =
     Term.(
       const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
       $ words $ no_lemmas $ budget $ incremental $ jobs $ stats_out_arg $ trace_out_arg
-      $ proof_out $ validate)
+      $ proof_out $ cert_format $ validate)
 
 let check_proof_cmd =
   Cmd.v
-    (Cmd.info "check-proof" ~doc:"Validate a resolution trace against a miter AIGER file.")
+    (Cmd.info "check-proof"
+       ~doc:
+         "Validate a certificate against a miter AIGER file.  ASCII resolution traces and CECB \
+          binary certificates are auto-detected; binary ones are checked in one bounded-memory \
+          streaming pass.")
     Term.(
       const run_check_proof $ file_pos 0 "Single-output miter AIGER file."
-      $ file_pos 1 "Resolution trace file.")
+      $ file_pos 1 "Certificate file (ASCII trace or CECB binary).")
 
 let fraig_cmd =
   let words =
@@ -826,6 +874,12 @@ let batch_cmd =
           ~doc:"Manifest file: one \"GOLDEN REVISED\" pair per line, # comments allowed; relative \
                 paths resolve against the manifest's directory.")
   in
+  let cert_format =
+    cert_format_arg ~default:Service.Store.Bin
+      ~doc:
+        "Body format for newly stored certificates: $(b,bin) (compact CECB binary, the default) \
+         or $(b,trace) (ASCII resolution trace).  Reading understands both."
+  in
   Cmd.v
     (Cmd.info "batch" ~doc:"Check a manifest of pairs against a certificate store, no daemon."
        ~man:
@@ -836,8 +890,8 @@ let batch_cmd =
               cache for a later daemon (and vice versa).";
          ])
     Term.(
-      const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ service_jobs_arg
-      $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg)
+      const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ cert_format
+      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg)
 
 let main_cmd =
   Cmd.group

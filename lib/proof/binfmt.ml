@@ -1,0 +1,285 @@
+module Clause = Cnf.Clause
+module Lit = Aig.Lit
+module R = Resolution
+
+let magic = "CECB"
+let version = 1
+
+exception Corrupt of { offset : int; reason : string }
+
+let corrupt offset fmt = Printf.ksprintf (fun reason -> raise (Corrupt { offset; reason })) fmt
+
+type record =
+  | Leaf of { clause : Clause.t; assumption : bool }
+  | Chain of { antecedents : int array }
+  | Delete of int array
+
+(* One step of trivial resolution with the pivot re-derived instead of
+   stored: a non-tautological resolvent exists only when exactly one
+   variable clashes between the operands, so the format omits pivots
+   entirely (they are about half of every chain's bytes) and readers
+   recover them here.  Returns [None] when nothing clashes; picking the
+   first clash is safe because a second one would make any resolvent a
+   tautology, which [Clause.resolve] rejects.  The orientation mirrors
+   [Resolution.recompute_chain]. *)
+let resolve_step acc c =
+  let pivot = ref (-1) in
+  (try
+     Clause.iter
+       (fun l ->
+         if Clause.mem (Lit.neg l) c then begin
+           pivot := Lit.var l;
+           raise Exit
+         end)
+       acc
+   with Exit -> ());
+  if !pivot < 0 then None
+  else
+    let pivot = !pivot in
+    let pos = Lit.of_var pivot in
+    let resolvent =
+      if Clause.mem pos acc && Clause.mem (Lit.neg pos) c then Clause.resolve acc c ~pivot
+      else Clause.resolve c acc ~pivot
+    in
+    Some (resolvent, pivot)
+
+(* --- varints --- *)
+
+(* Unsigned LEB128: 7 value bits per byte, high bit set on all but the
+   last.  Every quantity in the format is non-negative by construction
+   (internal literals are [2*var + sign], references are positive
+   backward deltas), so no zigzag encoding is needed. *)
+let put_varint buf v =
+  assert (v >= 0);
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let b = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      continue := false
+    end
+    else Buffer.add_char buf (Char.chr (b lor 0x80))
+  done
+
+(* Sorted strictly-increasing int lists (clause literals, delete sets)
+   are stored as a first absolute value followed by positive gaps. *)
+let put_deltas buf arr =
+  put_varint buf (Array.length arr);
+  Array.iteri (fun i v -> put_varint buf (if i = 0 then v else v - arr.(i - 1))) arr
+
+(* --- encoding --- *)
+
+(* Position of the last record referencing each node of [order]
+   (indexed by position).  The root is pinned to the final position so
+   it is never scheduled for deletion. *)
+let last_uses proof order pos_of =
+  let n = Array.length order in
+  let last = Array.make n (-1) in
+  Array.iteri
+    (fun pos id ->
+      match R.node proof id with
+      | R.Leaf _ -> ()
+      | R.Chain { antecedents; _ } ->
+        Array.iter (fun a -> last.(Hashtbl.find pos_of a) <- pos) antecedents)
+    order;
+  last.(n - 1) <- n - 1;
+  last
+
+let encode proof ~root =
+  (* Just-in-time leaf placement: a leaf enters the stream immediately
+     before its first consumer instead of up front, so the streaming
+     checker's live set never holds formula clauses it has no use for
+     yet.  Chains keep their topological (reachable) order. *)
+  let cone = R.reachable proof ~root in
+  let emitted = Hashtbl.create (Array.length cone) in
+  let order = Array.make (Array.length cone) (-1) in
+  let count = ref 0 in
+  let emit id =
+    if not (Hashtbl.mem emitted id) then begin
+      Hashtbl.add emitted id !count;
+      order.(!count) <- id;
+      incr count
+    end
+  in
+  Array.iter
+    (fun id ->
+      match R.node proof id with
+      | R.Leaf _ -> ()
+      | R.Chain { antecedents; _ } ->
+        Array.iter emit antecedents;
+        emit id)
+    cone;
+  emit root (* a leaf-only proof has no chain to pull the root in *);
+  let n = !count in
+  let last = last_uses proof order emitted in
+  (* Group deletions by the position they become possible at. *)
+  let deletable = Array.make n [] in
+  for pos = n - 2 downto 0 do
+    let u = last.(pos) in
+    if u >= 0 then deletable.(u) <- pos :: deletable.(u)
+  done;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_varint buf n;
+  let deletes = ref 0 in
+  Array.iteri
+    (fun pos id ->
+      (match R.node proof id with
+      | R.Leaf { clause; assumption } ->
+        Buffer.add_char buf (if assumption then '\001' else '\000');
+        put_deltas buf (Clause.lits clause)
+      | R.Chain { antecedents; _ } ->
+        Buffer.add_char buf '\002';
+        put_varint buf (Array.length antecedents);
+        Array.iter (fun a -> put_varint buf (pos - Hashtbl.find emitted a)) antecedents);
+      match deletable.(pos) with
+      | [] -> ()
+      | dead ->
+        incr deletes;
+        Buffer.add_char buf '\003';
+        put_deltas buf (Array.of_list dead))
+    order;
+  let reg = Obs.ambient () in
+  Obs.Counter.add (Obs.Registry.counter reg "proof.bin.nodes") n;
+  Obs.Counter.add (Obs.Registry.counter reg "proof.bin.delete_records") !deletes;
+  Obs.Gauge.add (Obs.Registry.gauge reg "proof.bin.bytes") (float_of_int (Buffer.length buf));
+  Buffer.contents buf
+
+let is_binary data =
+  String.length data > String.length magic && String.sub data 0 (String.length magic) = magic
+
+(* --- record reader --- *)
+
+type reader = {
+  data : string;
+  mutable pos : int;
+  declared : int;  (** node count from the header *)
+  mutable defined : int;  (** node records consumed so far *)
+}
+
+let declared_nodes r = r.declared
+let defined_nodes r = r.defined
+let offset r = r.pos
+
+let get_varint r =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    if r.pos >= String.length r.data then corrupt r.pos "truncated varint";
+    if !shift > 56 then corrupt r.pos "varint overflow";
+    let b = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    continue := b land 0x80 <> 0
+  done;
+  !v
+
+let get_deltas r ~what =
+  let k = get_varint r in
+  if k > String.length r.data - r.pos then corrupt r.pos "%s length overruns the data" what;
+  let arr = Array.make k 0 in
+  for i = 0 to k - 1 do
+    let d = get_varint r in
+    if i = 0 then arr.(0) <- d
+    else if d = 0 then corrupt r.pos "non-increasing %s" what
+    else arr.(i) <- arr.(i - 1) + d
+  done;
+  arr
+
+let reader data =
+  if not (is_binary data) then corrupt 0 "bad magic (not a %s certificate)" magic;
+  let vpos = String.length magic in
+  let v = Char.code data.[vpos] in
+  if v <> version then corrupt vpos "unsupported format version %d (want %d)" v version;
+  let r = { data; pos = vpos + 1; declared = 0; defined = 0 } in
+  let declared = get_varint r in
+  if declared = 0 then corrupt r.pos "empty certificate";
+  (* Every node record takes at least one byte, so a count beyond the
+     data size is corrupt — checked before any count-sized allocation. *)
+  if declared > String.length data then corrupt r.pos "node count overruns the data";
+  { r with declared }
+
+let next r =
+  if r.pos >= String.length r.data then begin
+    if r.defined < r.declared then
+      corrupt r.pos "certificate ends after %d of %d nodes" r.defined r.declared;
+    None
+  end
+  else begin
+    let at = r.pos in
+    let tag = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    (* Delete records may trail the final node (freeing the root's
+       antecedents); further node records may not. *)
+    if tag <> 3 && r.defined = r.declared then corrupt at "trailing bytes after the last node";
+    match tag with
+    | 0 | 1 ->
+      let lits = get_deltas r ~what:"clause literals" in
+      let clause =
+        try Clause.of_array lits
+        with Invalid_argument msg -> corrupt at "bad leaf clause: %s" msg
+      in
+      r.defined <- r.defined + 1;
+      Some (Leaf { clause; assumption = tag = 1 })
+    | 2 ->
+      let pos = r.defined in
+      let k = get_varint r in
+      if k < 2 then corrupt at "chain with %d antecedents" k;
+      if k > String.length r.data - at then corrupt at "chain length overruns the data";
+      let antecedents =
+        Array.init k (fun _ ->
+            let d = get_varint r in
+            if d = 0 || d > pos then corrupt at "antecedent reference out of range";
+            pos - d)
+      in
+      r.defined <- r.defined + 1;
+      Some (Chain { antecedents })
+    | 3 ->
+      let ids = get_deltas r ~what:"delete ids" in
+      if Array.length ids = 0 then corrupt at "empty delete record";
+      if ids.(Array.length ids - 1) >= r.defined then
+        corrupt at "delete of an undefined node";
+      Some (Delete ids)
+    | t -> corrupt at "unknown record tag %d" t
+  end
+
+(* --- decoding --- *)
+
+let decode data =
+  match
+    let r = reader data in
+    let dst = R.create () in
+    let ids = Array.make (declared_nodes r) (-1) in
+    let rec loop () =
+      match next r with
+      | None -> ()
+      | Some record ->
+        (match record with
+        | Leaf { clause; assumption } ->
+          ids.(r.defined - 1) <- R.add_leaf ~assumption dst clause
+        | Chain { antecedents } ->
+          let antecedents = Array.map (fun p -> ids.(p)) antecedents in
+          let pivots = Array.make (Array.length antecedents - 1) 0 in
+          let acc = ref (R.clause_of dst antecedents.(0)) in
+          for i = 1 to Array.length antecedents - 1 do
+            match resolve_step !acc (R.clause_of dst antecedents.(i)) with
+            | None -> corrupt (offset r) "no clashing variable in resolution step"
+            | Some (resolvent, pivot) ->
+              pivots.(i - 1) <- pivot;
+              acc := resolvent
+            | exception Invalid_argument msg ->
+              corrupt (offset r) "invalid resolution step: %s" msg
+          done;
+          ids.(r.defined - 1) <- R.add_chain dst ~clause:!acc ~antecedents ~pivots
+        | Delete _ -> () (* memory-management advice; nothing to free here *));
+        loop ()
+    in
+    loop ();
+    (dst, ids.(declared_nodes r - 1))
+  with
+  | result -> result
+  | exception Corrupt { offset; reason } ->
+    failwith (Printf.sprintf "Binfmt.decode: byte %d: %s" offset reason)

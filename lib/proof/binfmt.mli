@@ -1,0 +1,101 @@
+(** Compact binary certificates.
+
+    The dense ASCII trace ({!Export.trace_to_string}) spells every
+    node id, literal and {e result clause} out in decimal; for shipping
+    and storing certificates this module provides a binary format that
+    is typically several times smaller and — unlike the trace — can be
+    validated in one forward pass holding only live clauses
+    ({!Stream_check}).
+
+    {2 Format}
+
+    {v
+    "CECB" <version byte>
+    varint: node count n
+    then records; node records are numbered 0..n-1 in order:
+      tag 0x00  leaf            varint k, k delta-coded literals
+      tag 0x01  assumption leaf same layout as a leaf
+      tag 0x02  chain           varint k (#antecedents, >= 2), then k
+                                antecedent references, each the positive
+                                backward delta [pos - ref]
+      tag 0x03  delete          varint m, m delta-coded node ids whose
+                                clauses are dead from here on
+    v}
+
+    All integers are unsigned LEB128 varints; literals use the internal
+    [2*var + sign] encoding and, like delete-id lists, are sorted and
+    gap-coded.  Chains store {e no result clause and no pivots}: a
+    non-tautological resolvent exists only when exactly one variable
+    clashes between the operands, so readers re-derive each pivot
+    ({!resolve_step}) and recompute each result by resolution.  A chain
+    record therefore costs a couple of bytes per antecedent, and
+    corrupting it cannot produce an accepted-but-wrong clause — the
+    resolution either fails or derives what it derives.
+
+    The encoder walks the cone of [root] (so encoding trims), places
+    each leaf immediately before its first consumer, and emits a delete
+    record after the last use of every node — computed by a
+    backward-trimming pass — so a streaming checker's live set stays
+    small.  The node stream is topological and the root is the final
+    node record, never deleted. *)
+
+val magic : string
+
+(** Format version written by {!encode} and required by {!reader}. *)
+val version : int
+
+(** [true] when [data] starts with the binary certificate magic;
+    ASCII traces (which start with a decimal id) never match. *)
+val is_binary : string -> bool
+
+(** Serialize the cone of [root].  Node and delete-record counts and
+    the encoded size are recorded in the ambient {!Obs} registry
+    ([proof.bin.nodes], [proof.bin.delete_records], [proof.bin.bytes]). *)
+val encode : Resolution.t -> root:Resolution.id -> string
+
+(** Rebuild a {!Resolution.t} (chain clauses recomputed by resolution)
+    and return it with the root id.  Delete records are validated but
+    not acted on — the store keeps every node.
+    @raise Failure on malformed input or an invalid resolution step. *)
+val decode : string -> Resolution.t * Resolution.id
+
+(** {2 Record-level reader}
+
+    Shared by {!decode} and {!Stream_check}: iterate the records of a
+    certificate without materializing the DAG. *)
+
+exception Corrupt of { offset : int; reason : string }
+
+type record =
+  | Leaf of { clause : Cnf.Clause.t; assumption : bool }
+  | Chain of { antecedents : int array }
+      (** antecedent values are node positions, already delta-resolved *)
+  | Delete of int array  (** sorted node positions, already defined *)
+
+(** [resolve_step acc c] re-derives one trivial-resolution step: finds
+    the clashing variable between [acc] and [c], resolves on it
+    (oriented like {!Resolution.recompute_chain}) and returns the
+    resolvent with the pivot.  [None] when no variable clashes.
+    @raise Invalid_argument when the resolvent is a tautology (two or
+    more clashing variables). *)
+val resolve_step : Cnf.Clause.t -> Cnf.Clause.t -> (Cnf.Clause.t * int) option
+
+type reader
+
+(** Validate the magic, version and node count.  @raise Corrupt. *)
+val reader : string -> reader
+
+(** Node count declared by the header. *)
+val declared_nodes : reader -> int
+
+(** Node records consumed so far; the node defined by the latest
+    [Leaf]/[Chain] record has position [defined_nodes r - 1]. *)
+val defined_nodes : reader -> int
+
+(** Current byte offset (for error reporting). *)
+val offset : reader -> int
+
+(** Next record, or [None] at a clean end of data.  Structural
+    validation only (tags, bounds, reference ranges, monotonicity);
+    resolution steps are the caller's business.  @raise Corrupt. *)
+val next : reader -> record option

@@ -50,7 +50,8 @@ let trace_of_string text =
   let lines = String.split_on_char '\n' text in
   List.iter
     (fun line ->
-      let toks = String.split_on_char ' ' line |> List.filter (fun s -> s <> "") in
+      (* [String.trim] drops the '\r' of CRLF traces. *)
+      let toks = String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "") in
       match toks with
       | [] -> ()
       | id_s :: kind :: rest ->
@@ -97,7 +98,11 @@ let trace_of_string text =
               ~pivots:(Array.of_list pivots)
           | k -> failwith (Printf.sprintf "Export.trace_of_string: unknown kind %S" k)
         in
-        Hashtbl.replace rename id new_id;
+        (* [Hashtbl.replace] here would let a duplicate id silently
+           shadow the earlier node and corrupt every later reference. *)
+        if Hashtbl.mem rename id then
+          failwith (Printf.sprintf "Export.trace_of_string: duplicate node id %d" id);
+        Hashtbl.add rename id new_id;
         last := Some new_id
       | _ -> failwith "Export.trace_of_string: malformed line")
     lines;

@@ -1,5 +1,6 @@
-(** Library interface: resolution proof store, checker, assumption
-    lifting, trimming, statistics and text formats. *)
+(** Library interface: resolution proof store, checkers (materialized
+    and streaming), assumption lifting, trimming, statistics, and text
+    and binary certificate formats. *)
 
 module Resolution = Resolution
 module Checker = Checker
@@ -7,6 +8,8 @@ module Lift = Lift
 module Trim = Trim
 module Pstats = Pstats
 module Export = Export
+module Binfmt = Binfmt
+module Stream_check = Stream_check
 module Rup = Rup
 module Compress = Compress
 module Interpolant = Interpolant

@@ -46,32 +46,52 @@ let check_clause formula lemmas c =
   propagate_to_conflict clauses assignment
 
 let check_stream formula lemmas =
-  let rec loop index accepted = function
-    | [] ->
-      (match accepted with
-      | last :: _ when Clause.is_empty last -> Ok index
-      | _ -> Error { index = index - 1; clause = Clause.empty; reason = "stream does not end with the empty clause" })
-    | c :: rest ->
-      if check_clause formula (List.rev accepted) c then loop (index + 1) (c :: accepted) rest
-      else Error { index; clause = c; reason = "clause is not RUP" }
-  in
-  loop 0 [] lemmas
+  if lemmas = [] then
+    Error { index = 0; clause = Clause.empty; reason = "empty lemma stream" }
+  else
+    (* [accepted] is threaded newest-first and handed to [check_clause]
+       as-is: unit propagation scans the clause set to a fixpoint, so
+       its order is irrelevant, and re-reversing the list per lemma
+       (as this function used to) made the whole stream quadratic in
+       list traffic on top of the propagation cost. *)
+    let rec loop index accepted = function
+      | [] -> (
+        match accepted with
+        | last :: _ when Clause.is_empty last -> Ok index
+        | last :: _ ->
+          Error
+            { index = index - 1; clause = last; reason = "stream does not end with the empty clause" }
+        | [] -> assert false)
+      | c :: rest ->
+        if check_clause formula accepted c then loop (index + 1) (c :: accepted) rest
+        else Error { index; clause = c; reason = "clause is not RUP" }
+    in
+    loop 0 [] lemmas
 
 let check_drup_string formula text =
   let lemmas =
     String.split_on_char '\n' text
-    |> List.filter (fun line -> String.trim line <> "")
-    |> List.map (fun line ->
-           let lits =
-             String.split_on_char ' ' line
-             |> List.filter (fun tok -> tok <> "")
-             |> List.map (fun tok ->
-                    match int_of_string_opt tok with
-                    | Some v -> v
-                    | None -> failwith (Printf.sprintf "Rup.check_drup_string: bad token %S" tok))
-           in
-           match List.rev lits with
-           | 0 :: rest -> Clause.of_list (List.rev_map Lit.of_dimacs rest)
-           | _ -> failwith "Rup.check_drup_string: clause missing terminator")
+    |> List.filter_map (fun line ->
+           (* Real DRUP files carry "c" comment lines, "d <lits> 0"
+              deletion lines (this checker keeps every lemma, so they
+              are advice to skip) and CRLF endings; [String.trim]
+              drops the '\r'. *)
+           let line = String.trim line in
+           let toks = String.split_on_char ' ' line |> List.filter (fun tok -> tok <> "") in
+           match toks with
+           | [] | "c" :: _ | "d" :: _ -> None
+           | _ when line.[0] = 'c' -> None
+           | toks ->
+             let lits =
+               List.map
+                 (fun tok ->
+                   match int_of_string_opt tok with
+                   | Some v -> v
+                   | None -> failwith (Printf.sprintf "Rup.check_drup_string: bad token %S" tok))
+                 toks
+             in
+             (match List.rev lits with
+             | 0 :: rest -> Some (Clause.of_list (List.rev_map Lit.of_dimacs rest))
+             | _ -> failwith "Rup.check_drup_string: clause missing terminator"))
   in
   check_stream formula lemmas

@@ -24,6 +24,9 @@ val check_clause : Cnf.Formula.t -> Cnf.Clause.t list -> Cnf.Clause.t -> bool
     clause.  Returns the number of lemmas verified. *)
 val check_stream : Cnf.Formula.t -> Cnf.Clause.t list -> (int, error) result
 
-(** Parse the output of {!Export.drup_to_string} and verify it.
+(** Parse a DRUP file and verify it.  Accepts the output of
+    {!Export.drup_to_string} as well as solver-produced files with
+    [c] comment lines, [d <lits> 0] deletion lines (ignored — this
+    checker keeps every lemma) and CRLF line endings.
     @raise Failure on malformed text. *)
 val check_drup_string : Cnf.Formula.t -> string -> (int, error) result

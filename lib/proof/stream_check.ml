@@ -1,0 +1,101 @@
+module Clause = Cnf.Clause
+
+type stats = {
+  nodes : int;
+  chains : int;
+  deletes : int;
+  peak_live : int;
+  live_at_end : int;
+}
+
+type error = { offset : int; reason : string; malformed : bool }
+
+let pp_error fmt e =
+  Format.fprintf fmt "byte %d: %s%s" e.offset e.reason
+    (if e.malformed then " (malformed certificate)" else "")
+
+exception Reject of { offset : int; reason : string }
+
+let reject offset fmt = Printf.ksprintf (fun reason -> raise (Reject { offset; reason })) fmt
+
+let check ?formula data =
+  let reg = Obs.ambient () in
+  let run () =
+    let r = Binfmt.reader data in
+    let n = Binfmt.declared_nodes r in
+    (* The whole working set: position -> clause, for exactly the
+       clauses between their defining record and their delete record.
+       Memory is proportional to the peak live count, not to [n] — a
+       well-trimmed certificate checks in a small fraction of its
+       materialized size. *)
+    let live = Hashtbl.create 256 in
+    let peak = ref 0 and chains = ref 0 and deletes = ref 0 in
+    let add_live pos clause =
+      Hashtbl.add live pos clause;
+      if Hashtbl.length live > !peak then peak := Hashtbl.length live
+    in
+    let clause_of at pos =
+      match Hashtbl.find_opt live pos with
+      | Some c -> c
+      | None -> reject at "antecedent %d is dead (deleted before its last use)" pos
+    in
+    let rec loop () =
+      match Binfmt.next r with
+      | None -> ()
+      | Some record ->
+        let at = Binfmt.offset r in
+        (match record with
+        | Binfmt.Leaf { clause; assumption } ->
+          if assumption then reject at "assumption leaf in a final certificate";
+          (match formula with
+          | Some f when not (Cnf.Formula.mem f clause) ->
+            reject at "leaf clause %s is not in the formula" (Clause.to_dimacs_string clause)
+          | Some _ | None -> ());
+          add_live (Binfmt.defined_nodes r - 1) clause
+        | Binfmt.Chain { antecedents } ->
+          let acc = ref (clause_of at antecedents.(0)) in
+          for i = 1 to Array.length antecedents - 1 do
+            match Binfmt.resolve_step !acc (clause_of at antecedents.(i)) with
+            | None -> reject at "no clashing variable in resolution step"
+            | Some (resolvent, _pivot) -> acc := resolvent
+            | exception Invalid_argument msg -> reject at "invalid resolution step: %s" msg
+          done;
+          incr chains;
+          add_live (Binfmt.defined_nodes r - 1) !acc
+        | Binfmt.Delete ids ->
+          incr deletes;
+          Array.iter
+            (fun pos ->
+              if pos = n - 1 then reject at "delete of the root";
+              if not (Hashtbl.mem live pos) then reject at "double delete of node %d" pos;
+              Hashtbl.remove live pos)
+            ids);
+        loop ()
+    in
+    loop ();
+    (match Hashtbl.find_opt live (n - 1) with
+    | Some c when Clause.is_empty c -> ()
+    | Some c ->
+      reject (Binfmt.offset r) "root clause %s is not empty" (Clause.to_dimacs_string c)
+    | None -> reject (Binfmt.offset r) "root was deleted");
+    Obs.Counter.incr (Obs.Registry.counter reg "proof.stream.checks");
+    Obs.Counter.add (Obs.Registry.counter reg "proof.stream.chains") !chains;
+    let peak_gauge = Obs.Registry.gauge reg "proof.stream.peak_live" in
+    Obs.Gauge.set peak_gauge (Float.max (Obs.Gauge.get peak_gauge) (float_of_int !peak));
+    Ok
+      {
+        nodes = n;
+        chains = !chains;
+        deletes = !deletes;
+        peak_live = !peak;
+        live_at_end = Hashtbl.length live;
+      }
+  in
+  match run () with
+  | result -> result
+  | exception Reject { offset; reason } ->
+    Obs.Counter.incr (Obs.Registry.counter reg "proof.stream.rejects");
+    Error { offset; reason; malformed = false }
+  | exception Binfmt.Corrupt { offset; reason } ->
+    Obs.Counter.incr (Obs.Registry.counter reg "proof.stream.rejects");
+    Error { offset; reason; malformed = true }

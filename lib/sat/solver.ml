@@ -37,6 +37,7 @@ type t = {
   mutable var_inc : float;
   mutable unsat_root : R.id option;
   learned_indices : Veci.t;
+  retired : Veci.t; (* pids of learned clauses dropped by reduce_db *)
   mutable live_learned : int;
   mutable reduce_base : int;
   mutable cla_inc : float;
@@ -53,6 +54,7 @@ type t = {
   o_propagations : Obs.Counter.t;
   o_restarts : Obs.Counter.t;
   o_learned_size : Obs.Histogram.t;
+  o_retired : Obs.Counter.t;
 }
 
 let dummy_clause = { lits = [||]; pid = -1; learned = false; act = 0.0; deleted = false }
@@ -79,6 +81,7 @@ let create ?proof ?(reduce_base = 4000) () =
     var_inc = 1.0;
     unsat_root = None;
     learned_indices = Veci.create ();
+    retired = Veci.create ();
     live_learned = 0;
     reduce_base;
     cla_inc = 1.0;
@@ -93,9 +96,11 @@ let create ?proof ?(reduce_base = 4000) () =
     o_propagations = Obs.Registry.counter reg "sat.propagations";
     o_restarts = Obs.Registry.counter reg "sat.restarts";
     o_learned_size = Obs.Registry.histogram reg "sat.learned_clause_size";
+    o_retired = Obs.Registry.counter reg "sat.retired_chains";
   }
 
 let proof s = s.proof
+let trim_hints s = Veci.to_array s.retired
 let num_vars s = s.nvars
 let num_conflicts s = s.conflicts
 let num_decisions s = s.decisions
@@ -550,6 +555,12 @@ let reduce_db s =
       let cr = s.arena.(ci) in
       if !removed < to_remove && Array.length cr.lits > 2 && not (locked s ci) then begin
         cr.deleted <- true;
+        (* The proof node stays (later chains may still cite it), but a
+           clause the solver dropped is never an antecedent of a chain
+           learned after this point — exactly the deletion hint a
+           streaming certificate encoder wants. *)
+        Veci.push s.retired cr.pid;
+        Obs.Counter.incr s.o_retired;
         incr removed;
         s.live_learned <- s.live_learned - 1
       end)

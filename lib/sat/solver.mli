@@ -35,6 +35,15 @@ val create : ?proof:Proof.Resolution.t -> ?reduce_base:int -> unit -> t
 
 val proof : t -> Proof.Resolution.t
 
+(** Proof ids of learned chains the solver has retired from its clause
+    database, in retirement order.  A retired chain is never an
+    antecedent of any chain learned later, so these are deletion hints
+    for a streaming certificate encoder ({!Proof.Binfmt} computes exact
+    last-use positions offline and does not need them, but an online
+    emitter has nothing else to go on).  Counted by the ambient-registry
+    counter [sat.retired_chains]. *)
+val trim_hints : t -> Proof.Resolution.id array
+
 (** Allocate one fresh variable; returns its index. *)
 val new_var : t -> int
 

@@ -1,7 +1,13 @@
 module Cec = Cec_core.Cec
 module Certify = Cec_core.Certify
 
-let format_version = 1
+(* Version 2 introduced binary certificate bodies and the explicit
+   ["trace"/"bin"] word on the verdict line.  Version-1 objects (bare
+   ["equivalent"] + ASCII trace) are still readable; the index format
+   is versioned separately below and a v1 index is simply rebuilt. *)
+let format_version = 2
+
+type cert_format = Trace | Bin
 
 type entry = {
   mutable bytes : int;
@@ -23,6 +29,7 @@ type t = {
   objects : string;
   capacity : int option;
   paranoid : bool;
+  cert_format : cert_format;
   table : (string, entry) Hashtbl.t;
   mutable clock : int;
   mutable total_bytes : int;
@@ -122,7 +129,7 @@ let load_entries t =
       if stamp > t.clock then t.clock <- stamp)
     entries
 
-let create ?capacity_bytes ?(paranoid = true) ~dir () =
+let create ?capacity_bytes ?(paranoid = true) ?(cert_format = Bin) ~dir () =
   let objects = Filename.concat dir "objects" in
   mkdir_p objects;
   let t =
@@ -131,6 +138,7 @@ let create ?capacity_bytes ?(paranoid = true) ~dir () =
       objects;
       capacity = capacity_bytes;
       paranoid;
+      cert_format;
       table = Hashtbl.create 64;
       clock = 0;
       total_bytes = 0;
@@ -158,17 +166,27 @@ let touch t (e : entry) =
 (* --- certificate encoding --- *)
 
 let header = Printf.sprintf "cecproof-cert %d" format_version
+let legacy_header = "cecproof-cert 1"
 
-let encode verdict =
+let encode ~format verdict =
   match verdict with
   | Cec.Undecided -> None
   | Cec.Inequivalent cex ->
     let bits = String.init (Array.length cex) (fun i -> if cex.(i) then '1' else '0') in
     Some (Printf.sprintf "%s\ninequivalent %s\n" header bits)
-  | Cec.Equivalent cert ->
-    let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
-    Some
-      (Printf.sprintf "%s\nequivalent\n%s" header (Proof.Export.trace_to_string trimmed ~root))
+  | Cec.Equivalent cert -> (
+    match format with
+    | Bin ->
+      (* [Binfmt.encode] walks the reachable cone itself, so no
+         separate trimming pass is needed. *)
+      Some
+        (Printf.sprintf "%s\nequivalent bin\n%s" header
+           (Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root))
+    | Trace ->
+      let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+      Some
+        (Printf.sprintf "%s\nequivalent trace\n%s" header
+           (Proof.Export.trace_to_string trimmed ~root)))
 
 (* Split [data] into (first line, remainder after its newline). *)
 let split_line data =
@@ -186,12 +204,13 @@ let load_verdict t path ~golden ~revised =
   | exception Sys_error msg -> Error msg
   | data -> (
     let first, rest = split_line data in
-    if first <> header then
+    if first <> header && first <> legacy_header then
       Error (Printf.sprintf "version/header mismatch: %S (want %S)" first header)
     else
       let verdict_line, body = split_line rest in
-      match String.split_on_char ' ' verdict_line with
-      | [ "equivalent" ] -> (
+      (* Version-1 objects say bare "equivalent" and always carry an
+         ASCII trace; version-2 objects name their body format. *)
+      let equivalent_trace () =
         match Proof.Export.trace_of_string body with
         | exception Failure msg -> Error msg
         | exception Invalid_argument msg -> Error msg
@@ -204,7 +223,32 @@ let load_verdict t path ~golden ~revised =
             else
               match Certify.validate_against cert golden revised with
               | Ok _ -> Ok (Cec.Equivalent cert)
-              | Error e -> Error (Format.asprintf "%a" Certify.pp_error e))))
+              | Error e -> Error (Format.asprintf "%a" Certify.pp_error e)))
+      in
+      let equivalent_bin () =
+        match Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) with
+        | exception Invalid_argument msg -> Error msg
+        | formula -> (
+          let checked =
+            if not t.paranoid then Ok ()
+            else
+              (* The streaming checker plays the [Certify] role for
+                 binary bodies: leaves must come from this pair's miter
+                 CNF, every chain re-resolves, the root is empty. *)
+              match Proof.Stream_check.check ~formula body with
+              | Ok _ -> Ok ()
+              | Error e -> Error (Format.asprintf "%a" Proof.Stream_check.pp_error e)
+          in
+          match checked with
+          | Error msg -> Error msg
+          | Ok () -> (
+            match Proof.Binfmt.decode body with
+            | exception Failure msg -> Error msg
+            | proof, root -> Ok (Cec.Equivalent { Cec.proof; root; formula })))
+      in
+      match String.split_on_char ' ' verdict_line with
+      | [ "equivalent" ] | [ "equivalent"; "trace" ] -> equivalent_trace ()
+      | [ "equivalent"; "bin" ] -> equivalent_bin ()
       | [ "inequivalent"; bits ] ->
         if String.exists (fun c -> c <> '0' && c <> '1') bits then
           Error "malformed counterexample bits"
@@ -269,7 +313,7 @@ let over_capacity t =
   match t.capacity with Some cap -> t.total_bytes > cap | None -> false
 
 let store t key verdict =
-  match encode verdict with
+  match encode ~format:t.cert_format verdict with
   | None -> ()
   | Some data ->
     with_lock t (fun () ->

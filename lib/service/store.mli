@@ -12,24 +12,30 @@
                            one "<hex> <bytes> <stamp>" line per entry
     DIR/objects/<hex>      one certificate per entry:
                              cecproof-cert <version>
-                             equivalent            | inequivalent <bits>
-                             <resolution trace...> |
+                             equivalent bin   | equivalent trace   | inequivalent <bits>
+                             <CECB bytes...>  | <ascii trace...>   |
     v}
 
-    Equivalent entries persist the verdict plus the {e trimmed} dense
-    resolution trace ({!Proof.Export.trace_to_string});  inequivalent
-    entries persist the distinguishing input assignment; undecided
-    verdicts are never stored (a later, bigger budget may settle them).
-    Every file is written to a temporary name in the same directory and
-    renamed into place, so readers never observe a half-written entry
-    and a crash cannot corrupt an existing one.
+    Equivalent entries persist the verdict plus the {e trimmed}
+    refutation — by default as a compact {!Proof.Binfmt} binary
+    certificate, or as the dense ASCII trace
+    ({!Proof.Export.trace_to_string}) when the store was created with
+    [~cert_format:Trace].  Inequivalent entries persist the
+    distinguishing input assignment; undecided verdicts are never
+    stored (a later, bigger budget may settle them).  Every file is
+    written to a temporary name in the same directory and renamed into
+    place, so readers never observe a half-written entry and a crash
+    cannot corrupt an existing one.
 
-    Both the index and the certificate files are stamped with
-    {!format_version}: entries carrying any other version are treated
-    as misses and dropped, so a cached store directory (e.g. restored
-    by a CI cache) written by an older or newer format can never poison
-    a run.  A missing or unreadable index is rebuilt by scanning
-    [objects/].
+    Version-1 objects (header [cecproof-cert 1], bare [equivalent]
+    verdict line, ASCII trace body) remain readable: an old store
+    directory keeps answering hits, its v1 index is transparently
+    rebuilt by scanning [objects/], and entries are rewritten in the
+    current format only when stored again.  Entries carrying any
+    {e other} version are treated as misses and dropped, so a cached
+    store directory (e.g. restored by a CI cache) written by an unknown
+    format can never poison a run.  A missing or unreadable index is
+    likewise rebuilt by scanning [objects/].
 
     {2 Eviction}
 
@@ -41,17 +47,25 @@
 
     A loaded certificate is untrusted input: the file may have rotted,
     been truncated, or been written by an adversary.  In paranoid mode
-    (the default) a loaded equivalent entry is re-validated with
-    {!Cec_core.Certify.validate_against} against the requested pair —
-    and a loaded counterexample is replayed through the miter — before
-    being served; anything that fails is deleted and reported as a
-    miss, so the caller falls back to solving.  Disabling paranoia
-    serves entries unchecked (fast path for trusted local stores).
+    (the default) a loaded equivalent entry is re-validated against the
+    requested pair before being served — ASCII traces with
+    {!Cec_core.Certify.validate_against}, binary bodies with the
+    bounded-memory {!Proof.Stream_check} against the pair's miter CNF —
+    and a loaded counterexample is replayed through the miter.
+    Anything that fails is deleted and reported as a miss, so the
+    caller falls back to solving.  Disabling paranoia serves entries
+    unchecked (fast path for trusted local stores).
 
     All operations are serialized by an internal mutex and safe to call
     from multiple domains. *)
 
 type t
+
+(** Body format for {e newly stored} equivalent certificates ([Bin] is
+    the default: smaller on disk, checked by {!Proof.Stream_check} in
+    bounded memory on load).  Reading understands both, plus legacy
+    version-1 objects, regardless of this choice. *)
+type cert_format = Trace | Bin
 
 type stats = {
   entries : int;
@@ -68,8 +82,10 @@ val format_version : int
 
 (** Open (creating directories as needed) a store rooted at [dir].
     [capacity_bytes] bounds the total certificate bytes (unbounded when
-    omitted); [paranoid] defaults to [true]. *)
-val create : ?capacity_bytes:int -> ?paranoid:bool -> dir:string -> unit -> t
+    omitted); [paranoid] defaults to [true]; [cert_format] (default
+    [Bin]) picks the body format for newly stored certificates. *)
+val create :
+  ?capacity_bytes:int -> ?paranoid:bool -> ?cert_format:cert_format -> dir:string -> unit -> t
 
 val dir : t -> string
 val paranoid : t -> bool

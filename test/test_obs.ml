@@ -332,6 +332,7 @@ let test_golden_adder () =
       ("sat.decisions", 30);
       ("sat.propagations", 155);
       ("sat.restarts", 0);
+      ("sat.retired_chains", 0);
       ("sweep.const_merges", 7);
       ("sweep.lemmas", 17);
       ("sweep.merges", 5);
@@ -356,6 +357,7 @@ let test_golden_rewritten_datapath () =
       ("sat.decisions", 0);
       ("sat.propagations", 1007);
       ("sat.restarts", 0);
+      ("sat.retired_chains", 0);
       ("sweep.const_merges", 5);
       ("sweep.lemmas", 199);
       ("sweep.merges", 97);
@@ -380,6 +382,7 @@ let test_golden_constant_zero_miter () =
       ("sat.decisions", 0);
       ("sat.propagations", 0);
       ("sat.restarts", 0);
+      ("sat.retired_chains", 0);
       ("sweep.const_merges", 0);
       ("sweep.lemmas", 0);
       ("sweep.merges", 0);
@@ -403,6 +406,7 @@ let test_golden_falsifiable () =
       ("sat.decisions", 5);
       ("sat.propagations", 29);
       ("sat.restarts", 0);
+      ("sat.retired_chains", 0);
       ("sweep.const_merges", 0);
       ("sweep.lemmas", 0);
       ("sweep.merges", 0);

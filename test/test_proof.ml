@@ -560,4 +560,160 @@ let test_dot_export () =
 let dot_suites =
   [ ("proof-dot", [ Alcotest.test_case "dot export" `Quick test_dot_export ]) ]
 
-let suites = base_suites @ extra_suites @ interpolant_suites @ dot_suites
+(* --- binary certificates (Binfmt + Stream_check) --- *)
+
+let test_binfmt_roundtrip_hand () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode proof ~root in
+  Alcotest.(check bool) "binary sniffed" true (Proof.Binfmt.is_binary data);
+  Alcotest.(check bool) "ascii not sniffed" false
+    (Proof.Binfmt.is_binary (Proof.Export.trace_to_string proof ~root));
+  let proof', root' = Proof.Binfmt.decode data in
+  Alcotest.(check int) "same node count" 7 (R.size proof');
+  Alcotest.(check bool) "root empty" true (Clause.is_empty (R.clause_of proof' root'));
+  match Proof.Checker.check proof' ~root:root' ~formula:(formula_of_leaves ()) () with
+  | Ok chains -> Alcotest.(check int) "three chains" 3 chains
+  | Error e -> Alcotest.failf "decoded proof rejected: %a" Proof.Checker.pp_error e
+
+let test_stream_check_accepts_hand () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode proof ~root in
+  match Proof.Stream_check.check ~formula:(formula_of_leaves ()) data with
+  | Error e -> Alcotest.failf "valid certificate rejected: %a" Proof.Stream_check.pp_error e
+  | Ok st ->
+    Alcotest.(check int) "seven nodes" 7 st.Proof.Stream_check.nodes;
+    Alcotest.(check int) "three chains" 3 st.Proof.Stream_check.chains;
+    Alcotest.(check bool) "deletes emitted" true (st.Proof.Stream_check.deletes > 0);
+    Alcotest.(check bool) "peak below node count" true
+      (st.Proof.Stream_check.peak_live < st.Proof.Stream_check.nodes);
+    Alcotest.(check bool) "root still live" true (st.Proof.Stream_check.live_at_end >= 1)
+
+let test_stream_check_rejects_nonempty_root () =
+  (* Root the certificate at the intermediate unit (b): well-formed
+     bytes, but no refutation. *)
+  let proof = R.create () in
+  let l1 = R.add_leaf proof (Clause.of_list [ lit 0; lit 1 ]) in
+  let l2 = R.add_leaf proof (Clause.of_list [ nlit 0; lit 1 ]) in
+  let b = R.add_chain proof ~clause:(Clause.singleton (lit 1)) ~antecedents:[| l1; l2 |] ~pivots:[| 0 |] in
+  let data = Proof.Binfmt.encode proof ~root:b in
+  match Proof.Stream_check.check data with
+  | Ok _ -> Alcotest.fail "non-refutation accepted"
+  | Error e -> Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
+
+let test_stream_check_rejects_assumption_leaf () =
+  let proof = R.create () in
+  let l1 = R.add_leaf ~assumption:true proof (Clause.singleton (lit 0)) in
+  let l2 = R.add_leaf proof (Clause.singleton (nlit 0)) in
+  let root = R.add_chain proof ~clause:Clause.empty ~antecedents:[| l1; l2 |] ~pivots:[| 0 |] in
+  let data = Proof.Binfmt.encode proof ~root in
+  match Proof.Stream_check.check data with
+  | Ok _ -> Alcotest.fail "assumption leaf accepted"
+  | Error e -> Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
+
+let test_stream_check_rejects_foreign_leaf () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode proof ~root in
+  let small = Formula.create () in
+  ignore (Formula.add_list small [ lit 0; lit 1 ]);
+  match Proof.Stream_check.check ~formula:small data with
+  | Ok _ -> Alcotest.fail "foreign leaf accepted"
+  | Error e -> Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
+
+let test_stream_check_rejects_corruption () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode proof ~root in
+  let flip i =
+    String.mapi (fun j c -> if i = j then Char.chr (Char.code c lxor 0x7f) else c) data
+  in
+  (* Bad magic and truncation are byte-level corruption. *)
+  (match Proof.Stream_check.check (flip 0) with
+  | Error e -> Alcotest.(check bool) "bad magic is malformed" true e.Proof.Stream_check.malformed
+  | Ok _ -> Alcotest.fail "bad magic accepted");
+  (match Proof.Stream_check.check (String.sub data 0 (String.length data - 2)) with
+  | Error e -> Alcotest.(check bool) "truncation is malformed" true e.Proof.Stream_check.malformed
+  | Ok _ -> Alcotest.fail "truncated certificate accepted");
+  match Proof.Binfmt.decode (flip 4) with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "decode swallowed a bad version byte"
+
+let test_binfmt_delete_then_use_rejected () =
+  (* Hand-craft bytes: two unit leaves, a delete of node 0, then a
+     chain citing the deleted node.  The reader must stream it (it is
+     structurally fine) and the checker must reject the dead
+     antecedent. *)
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf Proof.Binfmt.magic;
+  Buffer.add_char buf (Char.chr Proof.Binfmt.version);
+  List.iter (Buffer.add_char buf)
+    [
+      '\003' (* node count 3 *);
+      '\000'; '\001'; '\000' (* leaf (a): 1 literal, lit 0 *);
+      '\000'; '\001'; '\001' (* leaf (~a): 1 literal, lit 1 *);
+      '\003'; '\001'; '\000' (* delete node 0 *);
+      '\002'; '\002'; '\002'; '\001' (* chain of nodes 0 and 1 *);
+    ];
+  match Proof.Stream_check.check (Buffer.contents buf) with
+  | Ok _ -> Alcotest.fail "use-after-delete accepted"
+  | Error e ->
+    Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
+
+(* --- regressions for the proof-I/O bugfixes --- *)
+
+let test_drup_skips_deletions_comments_crlf () =
+  (* A solver-style DRUP file: comments, a deletion line and CRLF
+     endings — all of which used to raise [Failure]. *)
+  let drup = "c proof of the hand example\r\n2 0\r\nd 1 2 0\r\n-2 0\r\n0\r\n" in
+  match Proof.Rup.check_drup_string (formula_of_leaves ()) drup with
+  | Ok n -> Alcotest.(check int) "three lemmas survive" 3 n
+  | Error e -> Alcotest.failf "solver-style DRUP rejected: %a" Proof.Rup.pp_error e
+
+let test_rup_empty_stream_error_index () =
+  match Proof.Rup.check_stream (formula_of_leaves ()) [] with
+  | Ok _ -> Alcotest.fail "empty stream accepted"
+  | Error e -> Alcotest.(check int) "index 0, not -1" 0 e.Proof.Rup.index
+
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let test_trace_rejects_duplicate_id () =
+  let text = "1 L 1 2 0\n1 L -1 2 0\n2 C 1 1 1 0 2 0\n" in
+  match Proof.Export.trace_of_string text with
+  | exception Failure msg -> Alcotest.(check bool) "names the duplicate" true (contains msg "duplicate")
+  | _ -> Alcotest.fail "duplicate node id silently accepted"
+
+let test_trace_accepts_crlf () =
+  let proof, root = hand_refutation () in
+  let text = Proof.Export.trace_to_string proof ~root in
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' text)
+  in
+  let proof', root' = Proof.Export.trace_of_string crlf in
+  match Proof.Checker.check proof' ~root:root' ~formula:(formula_of_leaves ()) () with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "CRLF trace rejected: %a" Proof.Checker.pp_error e
+
+let binfmt_suites =
+  [
+    ( "proof-binfmt",
+      [
+        Alcotest.test_case "roundtrip hand proof" `Quick test_binfmt_roundtrip_hand;
+        Alcotest.test_case "stream check accepts" `Quick test_stream_check_accepts_hand;
+        Alcotest.test_case "stream check rejects non-empty root" `Quick
+          test_stream_check_rejects_nonempty_root;
+        Alcotest.test_case "stream check rejects assumption leaf" `Quick
+          test_stream_check_rejects_assumption_leaf;
+        Alcotest.test_case "stream check rejects foreign leaf" `Quick
+          test_stream_check_rejects_foreign_leaf;
+        Alcotest.test_case "stream check rejects corruption" `Quick
+          test_stream_check_rejects_corruption;
+        Alcotest.test_case "use-after-delete rejected" `Quick test_binfmt_delete_then_use_rejected;
+        Alcotest.test_case "drup skips d/c/CRLF lines" `Quick test_drup_skips_deletions_comments_crlf;
+        Alcotest.test_case "empty rup stream error index" `Quick test_rup_empty_stream_error_index;
+        Alcotest.test_case "trace rejects duplicate id" `Quick test_trace_rejects_duplicate_id;
+        Alcotest.test_case "trace accepts CRLF" `Quick test_trace_accepts_crlf;
+      ] );
+  ]
+
+let suites = base_suites @ extra_suites @ interpolant_suites @ dot_suites @ binfmt_suites

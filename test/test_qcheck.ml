@@ -347,6 +347,89 @@ let prop_trace_roundtrip =
           QCheck.Test.fail_report "re-export diverged from the original trace";
         true)
 
+(* Binary certificates: encode real sweeping refutations and (a) decode
+   back to an equivalent checkable proof, (b) validate with the
+   streaming checker, (c) fuzz the bytes — corruption must come back as
+   [Error], never an exception or a crash. *)
+let prop_binfmt_roundtrip =
+  qtest "binary certificate round-trip" (fun seed ->
+      let golden, revised = random_pair seed in
+      match (Cec.check sweeping golden revised).Cec.verdict with
+      | Cec.Inequivalent _ | Cec.Undecided -> true (* refutations only *)
+      | Cec.Equivalent cert ->
+        let proof = cert.Cec.proof and root = cert.Cec.root in
+        let data = Proof.Binfmt.encode proof ~root in
+        (* The encoder trims, so compare against the trimmed cone. *)
+        let trimmed, troot = Proof.Trim.cone proof ~root in
+        let proof', root' = Proof.Binfmt.decode data in
+        if R.size proof' <> Array.length (R.reachable trimmed ~root:troot) then
+          QCheck.Test.fail_report "decoded node count differs from the trimmed cone";
+        if Clause.compare (clause_at trimmed troot) (clause_at proof' root') <> 0 then
+          QCheck.Test.fail_report "root clause changed across the round-trip";
+        (match Proof.Checker.check proof' ~root:root' ~formula:cert.Cec.formula () with
+        | Ok _ -> ()
+        | Error e ->
+          QCheck.Test.fail_reportf "decoded proof rejected: %a" Proof.Checker.pp_error e);
+        (match Proof.Stream_check.check ~formula:cert.Cec.formula data with
+        | Ok st ->
+          if st.Proof.Stream_check.nodes <> R.size proof' then
+            QCheck.Test.fail_report "streaming node count differs from decode";
+          if st.Proof.Stream_check.peak_live > st.Proof.Stream_check.nodes then
+            QCheck.Test.fail_report "peak live above node count"
+        | Error e ->
+          QCheck.Test.fail_reportf "streaming checker rejected a valid certificate: %a"
+            Proof.Stream_check.pp_error e);
+        (* Deterministic encoding: same proof, same bytes. *)
+        if Proof.Binfmt.encode proof' ~root:root' <> data then
+          QCheck.Test.fail_report "re-encode diverged from the original bytes";
+        true)
+
+let valid_cert_bytes =
+  lazy
+    (let proof, root, formula = Lazy.force valid_proof in
+     (Proof.Binfmt.encode proof ~root, formula))
+
+let prop_binfmt_fuzz =
+  qtest ~count:200 "corrupted binary certificates never crash" (fun seed ->
+      let data, formula = Lazy.force valid_cert_bytes in
+      let rng = Support.Rng.create (seed + 1) in
+      let mutated =
+        match seed mod 3 with
+        | 0 ->
+          (* Truncate somewhere (including inside the header). *)
+          String.sub data 0 (Support.Rng.int rng (String.length data))
+        | 1 ->
+          (* Flip one byte. *)
+          let i = Support.Rng.int rng (String.length data) in
+          let b = 1 + Support.Rng.int rng 255 in
+          String.mapi (fun j c -> if i = j then Char.chr (Char.code c lxor b) else c) data
+        | _ ->
+          (* Splice a random byte in. *)
+          let i = Support.Rng.int rng (String.length data) in
+          String.sub data 0 i
+          ^ String.make 1 (Char.chr (Support.Rng.int rng 256))
+          ^ String.sub data i (String.length data - i)
+      in
+      (* Whatever the mutation did, the checker must return a Result —
+         a mutation that leaves the certificate valid is legitimately
+         accepted, anything else must be a structured rejection. *)
+      (match Proof.Stream_check.check ~formula mutated with
+      | Ok _ | Error _ -> ());
+      (* Corruption within the 5 header bytes is always detected. *)
+      (if String.length mutated < String.length Proof.Binfmt.magic + 1
+          || not (String.equal (String.sub mutated 0 5) (String.sub data 0 5))
+       then
+         match Proof.Stream_check.check ~formula mutated with
+         | Ok _ -> QCheck.Test.fail_report "corrupted header accepted"
+         | Error e ->
+           if not e.Proof.Stream_check.malformed then
+             QCheck.Test.fail_report "corrupted header reported as semantic");
+      (* [decode] may raise [Failure] (documented) but nothing else. *)
+      (match Proof.Binfmt.decode mutated with
+      | _ -> ()
+      | exception Failure _ -> ());
+      true)
+
 let suites =
   [
     ( "qcheck-differential",
@@ -370,5 +453,10 @@ let suites =
         prop_aiger_roundtrip;
         prop_blif_roundtrip;
         prop_trace_roundtrip;
+      ] );
+    ( "qcheck-binfmt",
+      [
+        prop_binfmt_roundtrip;
+        prop_binfmt_fuzz;
       ] );
   ]

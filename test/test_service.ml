@@ -316,6 +316,61 @@ let test_store_rebuilds_lost_index () =
       let (_ : Cec.certificate) = find_cert reopened key ~golden ~revised in
       ())
 
+(* New entries carry the CECB binary body; the streaming checker is the
+   paranoid re-validation path for them. *)
+let test_store_writes_binary_bodies () =
+  with_temp_dir "cecd-store" (fun dir ->
+      let golden, revised, verdict = equivalent_pair () in
+      let key = Key.of_pair golden revised in
+      let store = Store.create ~dir () in
+      Store.store store key verdict;
+      let data = read_file (Store.entry_path store key) in
+      let expected = Printf.sprintf "cecproof-cert %d\nequivalent bin\n" Store.format_version in
+      Alcotest.(check string) "v2 header + bin verdict" expected
+        (String.sub data 0 (String.length expected));
+      Alcotest.(check bool) "CECB body" true
+        (Proof.Binfmt.is_binary
+           (String.sub data (String.length expected)
+              (String.length data - String.length expected)));
+      let cert = find_cert store key ~golden ~revised in
+      match Certify.validate_against cert golden revised with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "decoded binary certificate rejected: %a" Certify.pp_error e)
+
+let test_store_trace_format_roundtrip () =
+  with_temp_dir "cecd-store" (fun dir ->
+      let golden, revised, verdict = equivalent_pair () in
+      let key = Key.of_pair golden revised in
+      let store = Store.create ~cert_format:Store.Trace ~dir () in
+      Store.store store key verdict;
+      let data = read_file (Store.entry_path store key) in
+      let expected = Printf.sprintf "cecproof-cert %d\nequivalent trace\n" Store.format_version in
+      Alcotest.(check string) "v2 header + trace verdict" expected
+        (String.sub data 0 (String.length expected));
+      let (_ : Cec.certificate) = find_cert store key ~golden ~revised in
+      ())
+
+(* A store directory written before the binary format (version-1
+   header, bare "equivalent", ASCII trace) keeps answering hits. *)
+let test_store_reads_legacy_v1_objects () =
+  with_temp_dir "cecd-store" (fun dir ->
+      let golden, revised, verdict = equivalent_pair () in
+      let cert = match verdict with Cec.Equivalent c -> c | _ -> assert false in
+      let key = Key.of_pair golden revised in
+      let probe = Store.create ~dir () in
+      let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
+      write_file (Store.entry_path probe key)
+        (Printf.sprintf "cecproof-cert 1\nequivalent\n%s"
+           (Proof.Export.trace_to_string trimmed ~root));
+      (* A fresh handle finds the hand-planted v1 object by scanning
+         objects/ (there is no index yet) and serves it. *)
+      let store = Store.create ~dir () in
+      let loaded = find_cert store key ~golden ~revised in
+      (match Certify.validate_against loaded golden revised with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "legacy certificate rejected: %a" Certify.pp_error e);
+      Alcotest.(check int) "served as a hit" 1 (Store.stats store).Store.hits)
+
 let test_store_lru_eviction () =
   with_temp_dir "cecd-store" (fun dir ->
       (* Small fabricated counterexample entries with distinct keys. *)
@@ -699,6 +754,11 @@ let suites =
         Alcotest.test_case "version skew is a miss" `Quick test_store_version_skew_is_miss;
         Alcotest.test_case "lost index rebuilt from objects" `Quick
           test_store_rebuilds_lost_index;
+        Alcotest.test_case "binary bodies written and revalidated" `Quick
+          test_store_writes_binary_bodies;
+        Alcotest.test_case "trace format round-trip" `Quick test_store_trace_format_roundtrip;
+        Alcotest.test_case "legacy v1 objects still read" `Quick
+          test_store_reads_legacy_v1_objects;
         Alcotest.test_case "LRU eviction under a byte cap" `Quick test_store_lru_eviction;
       ] );
     ( "service-engine",
