@@ -858,6 +858,138 @@ let p4 () =
       output_string oc (Obs.Export.stats_json merged));
   Printf.printf "wrote BENCH_p4.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
 
+(* --- P5: availability under injected faults --- *)
+
+let p5 () =
+  (* A live daemon (2 workers) replays a fixed mix of check requests
+     through the retrying client while lib/fault injects crashes and
+     store write failures at the configured rates.  Per spec: request
+     success rate, p50/p99 client-observed latency, degraded
+     (uncertified) answers, typed errors, worker retries, and what a
+     post-mortem fsck of the store finds.  Any wrong verdict (a suite
+     pair reported anything but equivalent/uncertified) aborts the
+     benchmark.  Gauges go to BENCH_p5.json. *)
+  let requests = 200 in
+  let specs =
+    [
+      ("clean", "none", None);
+      ("worker crash 5%", "worker_crash", Some "worker.crash:0.05@seed=42");
+      (* The replay is hit-dominated, so store writes are rare; high
+         rates are needed to actually exercise the write-failure path. *)
+      ("store faults 50%", "store_write", Some "store.write:0.5,store.torn_write:0.25@seed=42");
+      ("combined 5%", "combined", Some "worker.crash:0.05,store.write:0.05@seed=42");
+    ]
+  in
+  let cases = List.filteri (fun i _ -> i < 2) Circuits.Suite.small in
+  let merged = Obs.Registry.create () in
+  let rows =
+    List.map
+      (fun (label, slug, spec) ->
+        let dir = Filename.temp_file "cecd-p5" "" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        Fun.protect ~finally:(fun () ->
+            Fault.disable ();
+            rm_rf dir)
+        @@ fun () ->
+        let paths =
+          List.map
+            (fun case ->
+              let g = Filename.concat dir (case.Circuits.Suite.name ^ "-g.aig") in
+              let r = Filename.concat dir (case.Circuits.Suite.name ^ "-r.aig") in
+              Aig.Aiger.write_file g (case.Circuits.Suite.golden ());
+              Aig.Aiger.write_file r (case.Circuits.Suite.revised ());
+              (g, r))
+            cases
+        in
+        (match spec with
+        | None -> Fault.disable ()
+        | Some s -> (
+          match Fault.parse s with
+          | Ok sp -> Fault.install sp
+          | Error e -> failwith ("p5: bad fault spec: " ^ e)));
+        let socket_path = Filename.concat dir "cecd.sock" in
+        let store_dir = Filename.concat dir "store" in
+        let cfg =
+          {
+            (Service.Server.default_config ~socket_path ~store_dir) with
+            Service.Server.log = false;
+            Service.Server.workers = 2;
+          }
+        in
+        let server = Domain.spawn (fun () -> Service.Server.run cfg) in
+        let client = { Service.Client.default_config with Service.Client.base_delay_ms = 10.0 } in
+        let rec wait n =
+          if n = 0 then failwith "p5: server did not come up"
+          else
+            match Service.Server.request ~socket_path "ping" with
+            | Ok _ -> ()
+            | Error _ ->
+              Unix.sleepf 0.02;
+              wait (n - 1)
+        in
+        wait 250;
+        let lat = Array.make requests 0.0 in
+        let succeeded = ref 0 and uncertified = ref 0 and errors = ref 0 in
+        for i = 0 to requests - 1 do
+          let g, r = List.nth paths (i mod List.length paths) in
+          let line = Printf.sprintf "check %s %s" g r in
+          let t0 = Unix.gettimeofday () in
+          (match Service.Client.request ~config:client ~socket_path line with
+          | Ok response -> (
+            match Service.Protocol.field "status" response with
+            | Some "equivalent" -> incr succeeded
+            | Some "uncertified" -> incr uncertified
+            | Some other -> failwith (Printf.sprintf "p5: wrong verdict %S under faults" other)
+            | None -> incr errors (* typed error response, e.g. worker_crashed *))
+          | Error _ -> incr errors);
+          lat.(i) <- 1000.0 *. (Unix.gettimeofday () -. t0)
+        done;
+        ignore (Service.Client.request ~config:client ~socket_path "shutdown");
+        let metrics, _store_stats = Domain.join server in
+        Fault.disable ();
+        let store = Service.Store.create ~startup_fsck:false ~dir:store_dir () in
+        let fsck = Service.Store.fsck store in
+        Array.sort compare lat;
+        let pct p = lat.(min (requests - 1) (int_of_float (p *. float_of_int requests))) in
+        let rate = 100.0 *. float_of_int !succeeded /. float_of_int requests in
+        let gauge suffix v = Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p5." ^ slug ^ suffix)) v in
+        gauge "_success_rate" rate;
+        gauge "_p50_ms" (pct 0.50);
+        gauge "_p99_ms" (pct 0.99);
+        gauge "_uncertified" (float_of_int !uncertified);
+        gauge "_errors" (float_of_int !errors);
+        gauge "_retried" (float_of_int metrics.Service.Metrics.retried);
+        gauge "_quarantined" (float_of_int fsck.Service.Store.quarantined);
+        [
+          label;
+          Printf.sprintf "%.1f%%" rate;
+          string_of_int !uncertified;
+          string_of_int !errors;
+          Tables.fmt_ms (pct 0.50 /. 1000.0);
+          Tables.fmt_ms (pct 0.99 /. 1000.0);
+          string_of_int metrics.Service.Metrics.retried;
+          string_of_int fsck.Service.Store.orphan_tmp;
+          string_of_int fsck.Service.Store.quarantined;
+        ])
+      specs
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "P5: availability under injected faults (%d requests, 2 workers, retrying client; \
+          success = equivalent, wrong verdicts abort)"
+         requests)
+    ~columns:
+      [
+        "faults"; "success"; "uncert"; "errors"; "p50"; "p99"; "retried"; "orphan tmp";
+        "quarantined";
+      ]
+    ~rows;
+  Out_channel.with_open_text "BENCH_p5.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p5.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -957,6 +1089,7 @@ let experiments =
     ("p2", p2);
     ("p3", p3);
     ("p4", p4);
+    ("p5", p5);
   ]
 
 let () =
@@ -973,7 +1106,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p4, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p5, bechamel)\n" name;
           exit 2
         end)
     selected

@@ -147,6 +147,21 @@ let print_cex cex =
   Array.iter (fun b -> print_char (if b then '1' else '0')) cex;
   print_newline ()
 
+(* Parse-and-install wrapper shared by cec/serve/batch: the spec is
+   installed around [k] and always removed again, so one subcommand
+   cannot leak faults into another in the same process. *)
+let with_faults faults k =
+  match faults with
+  | None -> k ()
+  | Some spec -> (
+    match Fault.parse spec with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok s ->
+      Fault.install s;
+      Fun.protect ~finally:Fault.disable k)
+
 let print_partition (p : Parallel.partition) =
   let status =
     match p.Parallel.status with
@@ -155,13 +170,15 @@ let print_partition (p : Parallel.partition) =
     | Parallel.Gave_up -> "gave-up"
     | Parallel.Trivial -> "trivial"
     | Parallel.Shared o -> Printf.sprintf "shared with #%d" o
+    | Parallel.Crashed -> "crashed"
   in
   Format.printf "partition %3d: %-18s (ands=%d, attempts=%d, conflicts=%d, sat_calls=%d)@."
     p.Parallel.output status p.Parallel.cone_ands p.Parallel.attempts p.Parallel.conflicts
     p.Parallel.sat_calls
 
 let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs stats_out
-    trace_out proof_out cert_format validate =
+    trace_out proof_out cert_format validate faults =
+  with_faults faults @@ fun () ->
   match (read_aiger path_a, read_aiger path_b) with
   | Error msg, _ | _, Error msg ->
     prerr_endline msg;
@@ -179,7 +196,7 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
          sequential single-miter engine. *)
       let check () =
         Obs.with_ambient reg (fun () ->
-            if jobs <= 0 then Cec.check engine a b
+            if jobs <= 0 then (Cec.check engine a b, None)
             else begin
               let config =
                 {
@@ -195,19 +212,20 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
               Format.printf "parallel: %d partitions on %d domains, %d round(s)@."
                 (Array.length stats.Parallel.partitions)
                 stats.Parallel.domains stats.Parallel.rounds;
-              {
-                Cec.verdict = par.Parallel.verdict;
-                sweep_stats = None;
-                solver_conflicts = stats.Parallel.conflicts;
-                sat_calls = stats.Parallel.sat_calls;
-              }
+              ( {
+                  Cec.verdict = par.Parallel.verdict;
+                  sweep_stats = None;
+                  solver_conflicts = stats.Parallel.conflicts;
+                  sat_calls = stats.Parallel.sat_calls;
+                },
+                par.Parallel.degraded )
             end)
       in
       match check () with
       | exception Invalid_argument msg ->
         prerr_endline msg;
         2
-      | report -> (
+      | report, degraded -> (
         export_obs reg ~stats_out ~trace_out;
         match report.Cec.verdict with
         | Cec.Equivalent cert ->
@@ -238,7 +256,9 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
           print_cex cex;
           1
         | Cec.Undecided ->
-          print_endline "UNDECIDED (conflict budget exhausted)";
+          (match degraded with
+          | Some reason -> Printf.printf "UNCERTIFIED (%s)\n" reason
+          | None -> print_endline "UNDECIDED (conflict budget exhausted)");
           4)))
 
 let run_check_proof miter_path trace_path =
@@ -469,7 +489,8 @@ let service_engine jobs budget =
   match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
 
 let run_serve socket store capacity_mb no_paranoid workers queue jobs budget timeout_ms quiet
-    stats_out trace_out =
+    stats_out trace_out faults =
+  with_faults faults @@ fun () ->
   let cfg =
     {
       (Service.Server.default_config ~socket_path:socket ~store_dir:store) with
@@ -493,9 +514,18 @@ let run_serve socket store capacity_mb no_paranoid workers queue jobs budget tim
     Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
     2
 
-let run_client socket ping stats shutdown timeout_ms golden revised =
+let run_client socket ping stats shutdown timeout_ms retries retry_delay_ms golden revised =
+  let config =
+    {
+      Service.Client.default_config with
+      Service.Client.retries = max 0 retries;
+      base_delay_ms = retry_delay_ms;
+    }
+  in
   let send req =
-    match Service.Server.request ~socket_path:socket (Service.Protocol.print_request req) with
+    match
+      Service.Client.request ~config ~socket_path:socket (Service.Protocol.print_request req)
+    with
     | Error msg ->
       prerr_endline msg;
       2
@@ -507,7 +537,7 @@ let run_client socket ping stats shutdown timeout_ms golden revised =
         match Service.Protocol.field "status" line with
         | Some "equivalent" -> 0
         | Some "inequivalent" -> 1
-        | Some "undecided" | Some "timeout" -> 4
+        | Some "undecided" | Some "timeout" | Some "uncertified" -> 4
         | _ -> 0))
   in
   if ping then send Service.Protocol.Ping
@@ -521,7 +551,8 @@ let run_client socket ping stats shutdown timeout_ms golden revised =
       2
 
 let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget timeout_ms
-    stats_out trace_out =
+    stats_out trace_out faults =
+  with_faults faults @@ fun () ->
   match Service.Batch.parse_manifest manifest with
   | Error msg ->
     prerr_endline msg;
@@ -552,6 +583,21 @@ let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget
       s.Service.Batch.ms;
     Format.printf "store: %a@." Service.Store.pp_stats (Service.Store.stats store);
     if s.Service.Batch.errors > 0 then 2 else 0
+
+let run_fsck store_dir =
+  (* [~startup_fsck:false]: run the sweep explicitly so its report can
+     be printed instead of being swallowed by [create]. *)
+  match Service.Store.create ~startup_fsck:false ~dir:store_dir () with
+  | exception (Sys_error msg | Failure msg) ->
+    prerr_endline msg;
+    2
+  | store ->
+    let report = Service.Store.fsck store in
+    Format.printf "fsck %s: %a@." store_dir Service.Store.pp_fsck report;
+    if report.Service.Store.quarantined > 0 then
+      Format.printf "quarantined files moved to %s@." (Service.Store.quarantine_dir store);
+    Format.printf "store: %a@." Service.Store.pp_stats (Service.Store.stats store);
+    0
 
 let run_suite () =
   List.iter
@@ -588,6 +634,19 @@ let trace_out_arg =
         ~doc:
           "Write the recorded spans as Chrome trace_event JSON (load in chrome://tracing or \
            Perfetto).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Deterministic fault injection, e.g. \
+           $(b,store.write:0.05,worker.crash:0.01@seed=42): each named injection point fires \
+           with the given probability, drawn from one seeded PRNG stream so a spec replays the \
+           same fault schedule.  Points: store.write, store.torn_write, store.corrupt, \
+           worker.crash, engine.budget, proof.lift, peer.slow.  Omitted = disabled (the points \
+           compile to a single boolean load).")
 
 let cert_format_conv =
   Arg.enum [ ("trace", Service.Store.Trace); ("bin", Service.Store.Bin) ]
@@ -693,7 +752,7 @@ let cec_cmd =
     Term.(
       const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
       $ words $ no_lemmas $ budget $ incremental $ jobs $ stats_out_arg $ trace_out_arg
-      $ proof_out $ cert_format $ validate)
+      $ proof_out $ cert_format $ validate $ faults_arg)
 
 let check_proof_cmd =
   Cmd.v
@@ -846,10 +905,23 @@ let serve_cmd =
     Term.(
       const run_serve $ socket_arg $ store_arg $ capacity_arg $ no_paranoid_arg $ workers $ queue
       $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ quiet $ stats_out_arg
-      $ trace_out_arg)
+      $ trace_out_arg $ faults_arg)
 
 let client_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
+  let retries =
+    Arg.(
+      value & opt int 4
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retries after a transient failure (connection refused, daemon restarting, queue \
+             full), with exponential backoff and jitter; 0 fails fast.")
+  in
+  let retry_delay =
+    Arg.(
+      value & opt float 25.0
+      & info [ "retry-delay-ms" ] ~docv:"MS" ~doc:"Backoff unit for the first retry.")
+  in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Fetch metrics and store counters as JSON.") in
   let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.") in
   let golden = Arg.(value & pos 0 (some string) None & info [] ~docv:"GOLDEN" ~doc:"Golden netlist path (as seen by the daemon).") in
@@ -863,7 +935,9 @@ let client_cmd =
              "Prints the daemon's one-line JSON response.  Exit codes mirror $(b,cec): 0 \
               equivalent, 1 inequivalent, 2 error, 4 undecided or timed out.";
          ])
-    Term.(const run_client $ socket_arg $ ping $ stats $ shutdown $ timeout_ms_arg $ golden $ revised)
+    Term.(
+      const run_client $ socket_arg $ ping $ stats $ shutdown $ timeout_ms_arg $ retries $ retry_delay
+      $ golden $ revised)
 
 let batch_cmd =
   let manifest =
@@ -891,13 +965,29 @@ let batch_cmd =
          ])
     Term.(
       const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ cert_format
-      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg)
+      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg
+      $ faults_arg)
+
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck" ~doc:"Check and repair a certificate store directory."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Sweeps crash debris: orphaned temporary files and truncated/garbage certificate \
+              objects are moved to the store's $(b,quarantine/) directory (binary bodies are \
+              re-validated with the streaming proof checker), valid objects missing from the \
+              index are re-adopted, and index entries whose object vanished are dropped.  The \
+              daemon runs the same sweep at startup.";
+         ])
+    Term.(const run_fsck $ store_arg)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "cec_tool" ~version:"1.0.0"
        ~doc:"Combinational equivalence checking with resolution proofs.")
-    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd; serve_cmd; client_cmd; batch_cmd ]
+    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd; serve_cmd; client_cmd; batch_cmd; fsck_cmd ]
 
 let () =
   (* Real wall-clock timelines for spans and latency histograms; the

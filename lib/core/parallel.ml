@@ -27,6 +27,7 @@ type status =
   | Gave_up
   | Trivial
   | Shared of int
+  | Crashed
 
 type partition = {
   output : int;
@@ -48,6 +49,7 @@ type stats = {
 type report = {
   verdict : Cec.verdict;
   stats : stats;
+  degraded : string option;
 }
 
 (* One solving job: a distinct disagreement literal and its fanin cone,
@@ -63,6 +65,8 @@ type job = {
   mutable attempts : int;
   mutable conflicts : int;
   mutable sat_calls : int;
+  mutable crashes : int;
+  mutable last_error : string option;
 }
 
 (* How each output pair is settled. *)
@@ -72,7 +76,19 @@ type slot =
   | Slot_job of job
 
 let attempt engine budget job =
-  let report = Cec.check_miter ?max_conflicts:budget engine job.cone in
+  Fault.inject "worker.crash";
+  let report =
+    if Fault.fire "engine.budget" then
+      (* Simulated budget blowout: the attempt burns its whole budget
+         without deciding, forcing the escalation/give-up machinery. *)
+      {
+        Cec.verdict = Cec.Undecided;
+        sweep_stats = None;
+        solver_conflicts = Option.value budget ~default:0;
+        sat_calls = 1;
+      }
+    else Cec.check_miter ?max_conflicts:budget engine job.cone
+  in
   job.attempts <- job.attempts + 1;
   job.conflicts <- job.conflicts + report.Cec.solver_conflicts;
   job.sat_calls <- job.sat_calls + report.Cec.sat_calls;
@@ -81,6 +97,14 @@ let attempt engine budget job =
 (* Run one attempt on every job, pulling indices from a shared counter
    (a queue without stealing: jobs are independent, so arrival order
    cannot influence any result).  Returns the worker count used.
+
+   Supervision: a job whose attempt raises (a worker "crash" — real
+   bug or injected [worker.crash]) is retried once, immediately, on
+   the same worker; a second crash marks the job permanently crashed
+   ([job.crashes >= 2], surfaced as status [Crashed] and a degraded
+   report) instead of tearing down the whole round.  Each worker
+   mutates only the job it popped, so the crash bookkeeping needs no
+   synchronization.
 
    Each worker records observability into its own local registry —
    plain mutation, no synchronization — and the registries are merged
@@ -93,20 +117,32 @@ let run_round ~num_domains engine budget jobs =
   else begin
     let workers = max 1 (min num_domains n) in
     let next = Atomic.make 0 in
-    let failure = Atomic.make None in
     let round_start = Obs.Clock.now () in
     let work reg () =
       Obs.with_ambient reg (fun () ->
           let o_attempts = Obs.Registry.counter reg "parallel.attempts" in
           let o_job_ms = Obs.Registry.histogram reg "parallel.job_ms" in
           let o_queue_wait_ms = Obs.Registry.histogram reg "parallel.queue_wait_ms" in
+          let o_crashes = Obs.Registry.counter reg "parallel.job_crashes" in
+          let o_retries = Obs.Registry.counter reg "parallel.job_retries" in
+          let crash job e =
+            job.crashes <- job.crashes + 1;
+            job.last_error <- Some (Printexc.to_string e);
+            Obs.Counter.incr o_crashes
+          in
           let rec loop () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
+              let job = jobs.(i) in
               let t0 = Obs.Clock.now () in
               Obs.Histogram.observe o_queue_wait_ms (1000.0 *. (t0 -. round_start));
-              (try attempt engine budget jobs.(i)
-               with e -> ignore (Atomic.compare_and_set failure None (Some e)));
+              (try attempt engine budget job
+               with e ->
+                 crash job e;
+                 if job.crashes <= 1 then begin
+                   Obs.Counter.incr o_retries;
+                   try attempt engine budget job with e2 -> crash job e2
+                 end);
               Obs.Counter.incr o_attempts;
               Obs.Histogram.observe o_job_ms (1000.0 *. (Obs.Clock.now () -. t0));
               loop ()
@@ -120,7 +156,6 @@ let run_round ~num_domains engine budget jobs =
     work regs.(0) ();
     Array.iter Domain.join spawned;
     Array.iter (fun r -> Obs.Registry.merge_into ~into:parent r) regs;
-    (match Atomic.get failure with Some e -> raise e | None -> ());
     workers
   end
 
@@ -130,6 +165,10 @@ let job_undecided job =
   | Some _ -> false
   | None -> true
 
+(* Crashed on both its attempt and the one retry: terminal, never
+   rescheduled, reported as [Crashed]. *)
+let job_crashed job = job.crashes >= 2 && job_undecided job
+
 let job_refuted job =
   match job.result with
   | Some { Cec.verdict = Cec.Inequivalent _; _ } -> true
@@ -138,6 +177,7 @@ let job_refuted job =
 (* Merge the per-partition refutations into one refutation of the
    combined miter CNF (see the .mli for the construction). *)
 let stitch miter diffs formula jobs =
+  Fault.inject "proof.lift";
   let s = R.create () in
   let lemma_root : (Clause.t, R.id) Hashtbl.t = Hashtbl.create 16 in
   let lemma_order = ref [] in
@@ -224,6 +264,8 @@ let check ?(config = default_config) a b =
                 attempts = 0;
                 conflicts = 0;
                 sat_calls = 0;
+                crashes = 0;
+                last_error = None;
               }
             in
             Hashtbl.add job_of_diff diff job;
@@ -269,7 +311,10 @@ let check ?(config = default_config) a b =
     in
     domains_used := max !domains_used used;
     incr rounds;
-    let undecided = Array.of_list (List.filter job_undecided (Array.to_list !pending)) in
+    let undecided =
+      Array.of_list
+        (List.filter (fun j -> job_undecided j && not (job_crashed j)) (Array.to_list !pending))
+    in
     pending := undecided;
     continue :=
       Array.length undecided > 0
@@ -291,7 +336,8 @@ let check ?(config = default_config) a b =
             match job.result with
             | Some { Cec.verdict = Cec.Equivalent _; _ } -> Proved
             | Some { Cec.verdict = Cec.Inequivalent _; _ } -> Refuted
-            | Some { Cec.verdict = Cec.Undecided; _ } | None -> Gave_up
+            | Some { Cec.verdict = Cec.Undecided; _ } | None ->
+              if job_crashed job then Crashed else Gave_up
           in
           if job.covers = o then
             {
@@ -309,7 +355,12 @@ let check ?(config = default_config) a b =
               attempts = 0;
               conflicts = 0;
               sat_calls = 0;
-              status = (match status with Refuted -> Refuted | Gave_up -> Gave_up | _ -> Shared job.covers);
+              status =
+                (match status with
+                | Refuted -> Refuted
+                | Gave_up -> Gave_up
+                | Crashed -> Crashed
+                | _ -> Shared job.covers);
             })
       slots
   in
@@ -322,23 +373,45 @@ let check ?(config = default_config) a b =
   let gave_up =
     Array.exists (fun p -> match p.status with Gave_up -> true | _ -> false) partitions
   in
+  let crashed = Array.to_list jobs |> List.filter job_crashed in
+  let crash_reason () =
+    let detail =
+      match List.find_map (fun j -> j.last_error) crashed with
+      | Some msg -> ": " ^ msg
+      | None -> ""
+    in
+    Printf.sprintf "%d partition job(s) crashed twice%s" (List.length crashed) detail
+  in
   let base_conflicts = Array.fold_left (fun acc j -> acc + j.conflicts) 0 jobs in
   let base_calls = Array.fold_left (fun acc j -> acc + j.sat_calls) 0 jobs in
-  let verdict, extra_conflicts, extra_calls =
+  let verdict, degraded, extra_conflicts, extra_calls =
     match first_cex with
-    | Some cex -> (Cec.Inequivalent cex, 0, 0)
+    | Some cex -> (Cec.Inequivalent cex, None, 0, 0)
     | None ->
-      if gave_up then (Cec.Undecided, 0, 0)
+      if crashed <> [] then (Cec.Undecided, Some (crash_reason ()), 0, 0)
+      else if gave_up then (Cec.Undecided, None, 0, 0)
       else begin
-        let cert, stitch_conflicts =
+        (* Proof stitching is post-verdict work: every partition is
+           already proved.  If it still fails (a lifting bug, or the
+           injected [proof.lift] fault) the honest answer is an
+           uncertified [Undecided], never an [Equivalent] without a
+           checkable certificate. *)
+        match
           Obs.Span.with_ reg "parallel.stitch" (fun () ->
               stitch miter diffs formula (Array.to_list jobs))
-        in
-        (Cec.Equivalent cert, stitch_conflicts, 1)
+        with
+        | cert, stitch_conflicts -> (Cec.Equivalent cert, None, stitch_conflicts, 1)
+        | exception e ->
+          Obs.Counter.incr (Obs.Registry.counter reg "parallel.stitch_failures");
+          ( Cec.Undecided,
+            Some (Printf.sprintf "certificate stitching failed: %s" (Printexc.to_string e)),
+            0,
+            0 )
       end
   in
   {
     verdict;
+    degraded;
     stats =
       {
         partitions;

@@ -46,6 +46,9 @@ type status =
   | Shared of int
       (** same disagreement cone as the given earlier output; solved
           once, cost attributed to that partition *)
+  | Crashed
+      (** the partition's job raised on its attempt {e and} its one
+          supervised retry; the run degrades to [Undecided] *)
 
 type partition = {
   output : int;  (** output-pair index *)
@@ -67,6 +70,13 @@ type stats = {
 type report = {
   verdict : Cec.verdict;
   stats : stats;
+  degraded : string option;
+      (** [Some reason] when the run could not deliver what it should
+          have: a partition job crashed twice (status [Crashed]), or
+          every partition was proved but certificate stitching failed.
+          The verdict is then [Undecided] — degraded runs never claim
+          an uncertified [Equivalent].  [None] for clean runs,
+          including ordinary budget-exhaustion give-ups. *)
 }
 
 (** Check two circuits with the same interface.  [Equivalent]
@@ -75,7 +85,12 @@ type report = {
     {!Certify.validate_against} applies as-is.  An [Inequivalent]
     witness is the lowest-indexed differing output's counterexample.
     The verdict is [Undecided] only when some partition stayed
-    undecided after [max_rounds] budget escalations and no partition
-    was refuted.
+    undecided after [max_rounds] budget escalations (or crashed, see
+    [degraded]) and no partition was refuted.
+
+    Supervision: a job whose engine raises — including the injected
+    [worker.crash] {!Fault} — is retried once; a second failure marks
+    its partition [Crashed] and degrades the run instead of raising
+    out of [check] or deadlocking the pool.
     @raise Invalid_argument if interfaces differ. *)
 val check : ?config:config -> Aig.t -> Aig.t -> report

@@ -1,0 +1,70 @@
+(** Deterministic fault injection.
+
+    Robustness code is only trustworthy if its failure paths run; this
+    module lets tests, benchmarks and CI {e drive} them.  Code under
+    test consults named {e injection points} ([store.write],
+    [worker.crash], ...); a seeded specification maps each point to a
+    firing probability, and every draw flows through one splitmix64
+    stream, so a given spec replays the same fault schedule run to run
+    (up to domain interleaving when several domains draw).
+
+    {2 Cost when disabled}
+
+    With no spec installed — the production configuration — {!fire} is
+    a single relaxed [Atomic.get] returning [false]: no lock, no hash
+    lookup, no allocation.  Injection points therefore stay in the
+    shipped binary and compile down to a branch-never-taken.
+
+    {2 Spec syntax}
+
+    {v point:rate[,point:rate...][@seed=N] v}
+
+    e.g. ["store.write:0.05,worker.crash:0.01@seed=42"].  Rates are
+    floats in [[0, 1]]; the seed defaults to 0.  Point names are free
+    form ([[a-z0-9._-]]); unknown names simply never fire, so a spec
+    can name points of a newer binary without breaking an older one.
+
+    Every fired injection increments the ambient {!Obs} registry
+    counter [fault.injected.<point>]. *)
+
+(** Raised by {!inject} (and nothing else) when a point fires.  The
+    payload is the point name. *)
+exception Injected of string
+
+type spec
+
+(** Parse the spec syntax above.  [Error] on empty specs, malformed
+    rates, rates outside [[0, 1]] and malformed point names. *)
+val parse : string -> (spec, string) result
+
+(** A one-point spec, for tests: [always "store.write"] fires every
+    draw of that point. *)
+val always : ?seed:int -> string -> spec
+
+(** Round-trips through {!parse}. *)
+val to_string : spec -> string
+
+(** Install a spec process-wide (replacing any previous one). *)
+val install : spec -> unit
+
+(** Remove the installed spec: every point stops firing and {!fire}
+    returns to its single-atomic-load fast path. *)
+val disable : unit -> unit
+
+(** Whether any spec is installed. *)
+val active : unit -> bool
+
+(** [with_spec spec f] installs [spec], runs [f], and restores the
+    previous installation state even when [f] raises. *)
+val with_spec : spec -> (unit -> 'a) -> 'a
+
+(** Draw at a named injection point: [true] when the installed spec
+    fires it.  Always [false] with no spec installed. *)
+val fire : string -> bool
+
+(** [inject point] raises [Injected point] when {!fire} does. *)
+val inject : string -> unit
+
+(** The injection points consulted by this codebase, with what each
+    one simulates (documentation; {!parse} does not restrict names). *)
+val known_points : (string * string) list

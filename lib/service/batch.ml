@@ -46,7 +46,7 @@ let run ?(clock = Unix.gettimeofday) ~store ~engine ?timeout_ms ?(on_result = fu
     (match status with
     | "equivalent" -> incr proved
     | "inequivalent" -> incr cex
-    | "undecided" | "timeout" -> incr undecided
+    | "undecided" | "timeout" | "uncertified" -> incr undecided
     | _ -> incr errors);
     if cached then incr hits;
     on_result
@@ -90,15 +90,20 @@ let run ?(clock = Unix.gettimeofday) ~store ~engine ?timeout_ms ?(on_result = fu
             | exception Invalid_argument msg ->
               finish_pair golden_path revised_path started "error" false msg
             | result ->
-              Store.store store key result.Engine.verdict;
+              if result.Engine.degraded = None then Store.store store key result.Engine.verdict;
               let status =
-                match result.Engine.verdict with
-                | Cec.Equivalent _ -> "equivalent"
-                | Cec.Inequivalent _ -> "inequivalent"
-                | Cec.Undecided -> if result.Engine.timed_out then "timeout" else "undecided"
+                match (result.Engine.verdict, result.Engine.degraded) with
+                | Cec.Equivalent _, _ -> "equivalent"
+                | Cec.Inequivalent _, _ -> "inequivalent"
+                | Cec.Undecided, Some _ -> "uncertified"
+                | Cec.Undecided, None ->
+                  if result.Engine.timed_out then "timeout" else "undecided"
               in
               let detail =
-                match result.Engine.verdict with Cec.Inequivalent c -> bits c | _ -> ""
+                match (result.Engine.verdict, result.Engine.degraded) with
+                | Cec.Inequivalent c, _ -> bits c
+                | Cec.Undecided, Some reason -> reason
+                | _ -> ""
               in
               finish_pair golden_path revised_path started status false detail)
         end)

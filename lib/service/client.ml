@@ -1,0 +1,55 @@
+type config = {
+  retries : int;
+  base_delay_ms : float;
+  seed : int;
+  sleep : float -> unit;
+}
+
+let default_config = { retries = 4; base_delay_ms = 25.0; seed = 0; sleep = Unix.sleepf }
+
+(* One attempt: connect, send, read one response line.  [Error (retry,
+   msg)] tags whether the failure is worth retrying. *)
+let attempt ~socket_path line =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+  | exception Unix.Unix_error (e, _, _) ->
+    close ();
+    let transient = match e with Unix.ECONNREFUSED | Unix.ENOENT -> true | _ -> false in
+    Error (transient, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+  | () -> (
+    match
+      Wire.write_line fd line;
+      Wire.read_line fd
+    with
+    | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as e), _, _) ->
+      close ();
+      Error (true, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+    | exception Unix.Unix_error (e, _, _) ->
+      close ();
+      Error (false, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+    | Error msg ->
+      close ();
+      (* EOF before a response: the daemon died between accept and
+         reply (or a drain raced the connect) — transient. *)
+      Error (msg = "connection closed", msg)
+    | Ok response ->
+      close ();
+      if Protocol.field "error" response = Some "queue full" then Error (true, "queue full")
+      else Ok response)
+
+let request ?(config = default_config) ~socket_path line =
+  let rng = Support.Rng.create config.seed in
+  let rec go k =
+    match attempt ~socket_path line with
+    | Ok response -> Ok response
+    | Error (transient, msg) ->
+      if (not transient) || k >= max 0 config.retries then Error msg
+      else begin
+        let backoff = config.base_delay_ms *. (2.0 ** float_of_int k) in
+        let jitter = 0.5 +. Support.Rng.float rng in
+        config.sleep (backoff *. jitter /. 1000.0);
+        go (k + 1)
+      end
+  in
+  go 0

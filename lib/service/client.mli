@@ -1,0 +1,31 @@
+(** A fault-tolerant client for the certification daemon.
+
+    {!Server.request} is one shot: connect, send, read, done.  Against
+    a daemon that is restarting, draining, or briefly overloaded that
+    turns transient conditions into hard failures.  [request] retries
+    with exponential backoff on exactly the transient errors —
+    [ECONNREFUSED] (daemon not yet listening or just died), [ENOENT]
+    (socket file not created yet), [EPIPE]/[ECONNRESET] (daemon went
+    away mid-exchange), an EOF before any response byte, and the
+    server's [queue full] bounce — and fails fast on everything else
+    (a malformed request will not become less malformed by retrying).
+
+    Backoff for attempt [k] (0-based) is [base_delay_ms * 2^k],
+    multiplied by a deterministic jitter in [0.5, 1.5) drawn from a
+    seeded {!Support.Rng} stream, so a herd of replaying clients
+    decorrelates without making test runs flaky. *)
+
+type config = {
+  retries : int;  (** additional attempts after the first (min 0) *)
+  base_delay_ms : float;  (** backoff unit for the first retry *)
+  seed : int;  (** jitter stream seed *)
+  sleep : float -> unit;  (** injectable for tests (default [Unix.sleepf]) *)
+}
+
+(** 4 retries, 25ms base delay — worst-case wait ~1.5s total. *)
+val default_config : config
+
+(** Send one request line, retrying transient failures per the policy
+    above.  [Ok response] on the first success; [Error msg] carries the
+    last failure once the attempts are exhausted. *)
+val request : ?config:config -> socket_path:string -> string -> (string, string) result

@@ -25,6 +25,7 @@ type result = {
   sat_calls : int;
   rounds : int;
   timed_out : bool;
+  degraded : string option;
 }
 
 let solve ?(clock = Unix.gettimeofday) ?deadline config golden revised =
@@ -34,8 +35,15 @@ let solve ?(clock = Unix.gettimeofday) ?deadline config golden revised =
   let escalation = max 2 config.escalation in
   let max_rounds = max 1 config.max_rounds in
   let conflicts = ref 0 and sat_calls = ref 0 and rounds = ref 0 in
-  let finish verdict timed_out =
-    { verdict; conflicts = !conflicts; sat_calls = !sat_calls; rounds = !rounds; timed_out }
+  let finish ?degraded verdict timed_out =
+    {
+      verdict;
+      conflicts = !conflicts;
+      sat_calls = !sat_calls;
+      rounds = !rounds;
+      timed_out;
+      degraded;
+    }
   in
   let rec round n budget =
     if expired () then finish Cec.Undecided true
@@ -56,10 +64,16 @@ let solve ?(clock = Unix.gettimeofday) ?deadline config golden revised =
       match report.Parallel.verdict with
       | (Cec.Equivalent _ | Cec.Inequivalent _) as verdict -> finish verdict false
       | Cec.Undecided -> (
+        (* A degraded round (crashed job, failed stitch) is retried on
+           the next escalation round like any undecided one — transient
+           faults recover on a clean retry.  Only when the rounds run
+           out does the last degradation reason surface to the caller,
+           so a persistent fault yields an explicit uncertified answer
+           instead of a silent give-up. *)
         match budget with
-        | None -> finish Cec.Undecided false
+        | None -> finish ?degraded:report.Parallel.degraded Cec.Undecided false
         | Some b ->
-          if n + 1 >= max_rounds then finish Cec.Undecided false
+          if n + 1 >= max_rounds then finish ?degraded:report.Parallel.degraded Cec.Undecided false
           else round (n + 1) (Some (b * escalation)))
     end
   in

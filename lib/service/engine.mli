@@ -35,6 +35,12 @@ type result = {
   sat_calls : int;
   rounds : int;  (** rounds actually executed *)
   timed_out : bool;  (** [Undecided] because the deadline expired *)
+  degraded : string option;
+      (** [Some reason] when the final round was degraded (a partition
+          job crashed twice, or certificate stitching failed — see
+          {!Cec_core.Parallel.report}); the verdict is then an
+          uncertified [Undecided].  Earlier degraded rounds that a
+          later clean round recovered from are not reported. *)
 }
 
 (** [solve ?clock ?deadline config golden revised] decides the pair.

@@ -3,6 +3,7 @@ type outcome =
   | Counterexample
   | Undecided
   | Timeout
+  | Uncertified
 
 type latency = {
   count : int;
@@ -18,9 +19,12 @@ type snapshot = {
   timeouts : int;
   hits : int;
   misses : int;
+  uncertified : int;
   cancelled : int;
   rejected : int;
   errors : int;
+  retried : int;
+  worker_restarts : int;
   hit_latency : latency;
   solve_latency : latency;
 }
@@ -39,9 +43,12 @@ type t = {
   timeouts : Obs.Counter.t;
   hits : Obs.Counter.t;
   misses : Obs.Counter.t;
+  uncertified : Obs.Counter.t;
   cancelled : Obs.Counter.t;
   rejected : Obs.Counter.t;
   errors : Obs.Counter.t;
+  retried : Obs.Counter.t;
+  worker_restarts : Obs.Counter.t;
   hit_ms : Obs.Histogram.t;
   solve_ms : Obs.Histogram.t;
   lock : Mutex.t;
@@ -58,9 +65,12 @@ let of_registry reg =
     timeouts = c "service.timeouts";
     hits = c "service.store_hits";
     misses = c "service.store_misses";
+    uncertified = c "service.uncertified";
     cancelled = c "service.cancelled";
     rejected = c "service.rejected";
     errors = c "service.errors";
+    retried = c "service.job_retries";
+    worker_restarts = c "service.worker_restarts";
     hit_ms = Obs.Registry.histogram reg "service.hit_ms";
     solve_ms = Obs.Registry.histogram reg "service.solve_ms";
     lock = Mutex.create ();
@@ -80,7 +90,8 @@ let record t outcome ~cached ~ms =
       | Proved -> Obs.Counter.incr t.proved
       | Counterexample -> Obs.Counter.incr t.counterexamples
       | Undecided -> Obs.Counter.incr t.undecided
-      | Timeout -> Obs.Counter.incr t.timeouts);
+      | Timeout -> Obs.Counter.incr t.timeouts
+      | Uncertified -> Obs.Counter.incr t.uncertified);
       if cached then begin
         Obs.Counter.incr t.hits;
         Obs.Histogram.observe t.hit_ms ms
@@ -91,6 +102,8 @@ let record t outcome ~cached ~ms =
       end)
 
 let record_cancelled t = with_lock t (fun () -> Obs.Counter.incr t.cancelled)
+let record_retry t = with_lock t (fun () -> Obs.Counter.incr t.retried)
+let record_worker_restart t = with_lock t (fun () -> Obs.Counter.incr t.worker_restarts)
 let record_rejected t = with_lock t (fun () -> Obs.Counter.incr t.rejected)
 let record_error t = with_lock t (fun () -> Obs.Counter.incr t.errors)
 
@@ -107,9 +120,12 @@ let snapshot t =
         timeouts = Obs.Counter.get t.timeouts;
         hits = Obs.Counter.get t.hits;
         misses = Obs.Counter.get t.misses;
+        uncertified = Obs.Counter.get t.uncertified;
         cancelled = Obs.Counter.get t.cancelled;
         rejected = Obs.Counter.get t.rejected;
         errors = Obs.Counter.get t.errors;
+        retried = Obs.Counter.get t.retried;
+        worker_restarts = Obs.Counter.get t.worker_restarts;
         hit_latency = latency_of t.hit_ms;
         solve_latency = latency_of t.solve_ms;
       })
@@ -126,9 +142,12 @@ let fields (s : snapshot) =
       ("timeouts", Int s.timeouts);
       ("store_hits", Int s.hits);
       ("store_misses", Int s.misses);
+      ("uncertified", Int s.uncertified);
       ("cancelled", Int s.cancelled);
       ("rejected", Int s.rejected);
       ("errors", Int s.errors);
+      ("retried", Int s.retried);
+      ("worker_restarts", Int s.worker_restarts);
       ("hit_ms_avg", Float (avg s.hit_latency));
       ("hit_ms_max", Float s.hit_latency.max_ms);
       ("solve_ms_avg", Float (avg s.solve_latency));
@@ -139,8 +158,9 @@ let to_json s = Protocol.to_json (fields s)
 
 let pp fmt (s : snapshot) =
   Format.fprintf fmt
-    "requests=%d proved=%d cex=%d undecided=%d timeouts=%d hits=%d misses=%d cancelled=%d \
-     rejected=%d errors=%d | hit avg %.2fms max %.2fms | solve avg %.2fms max %.2fms"
-    s.requests s.proved s.counterexamples s.undecided s.timeouts s.hits s.misses s.cancelled
-    s.rejected s.errors (avg s.hit_latency) s.hit_latency.max_ms (avg s.solve_latency)
-    s.solve_latency.max_ms
+    "requests=%d proved=%d cex=%d undecided=%d timeouts=%d uncertified=%d hits=%d misses=%d \
+     cancelled=%d rejected=%d errors=%d retried=%d worker_restarts=%d | hit avg %.2fms max \
+     %.2fms | solve avg %.2fms max %.2fms"
+    s.requests s.proved s.counterexamples s.undecided s.timeouts s.uncertified s.hits s.misses
+    s.cancelled s.rejected s.errors s.retried s.worker_restarts (avg s.hit_latency)
+    s.hit_latency.max_ms (avg s.solve_latency) s.solve_latency.max_ms

@@ -11,6 +11,9 @@ type outcome =
   | Counterexample
   | Undecided  (** conflict budget exhausted after every round *)
   | Timeout  (** per-request deadline expired *)
+  | Uncertified
+      (** degraded: crashed partition jobs or failed certificate
+          stitching — answered honestly instead of claiming a result *)
 
 type latency = {
   count : int;
@@ -26,9 +29,12 @@ type snapshot = {
   timeouts : int;
   hits : int;  (** check requests answered from the store *)
   misses : int;  (** check requests that went to the solver *)
+  uncertified : int;
   cancelled : int;  (** deadline expired while still queued *)
   rejected : int;  (** bounced by a full request queue *)
   errors : int;  (** unreadable netlists, bad requests, solver errors *)
+  retried : int;  (** jobs re-enqueued after a worker crash *)
+  worker_restarts : int;  (** worker loops restarted by the supervisor *)
   hit_latency : latency;  (** end-to-end latency of store hits *)
   solve_latency : latency;  (** end-to-end latency of solved requests *)
 }
@@ -51,6 +57,8 @@ val incr_requests : t -> unit
 val record : t -> outcome -> cached:bool -> ms:float -> unit
 
 val record_cancelled : t -> unit
+val record_retry : t -> unit
+val record_worker_restart : t -> unit
 val record_rejected : t -> unit
 val record_error : t -> unit
 val snapshot : t -> snapshot

@@ -95,7 +95,10 @@ let field name line =
       Some (String.trim (String.sub line start (!stop - start)))
     end
 
-let error_response msg = to_json [ ("error", String msg) ]
+let error_response ?code msg =
+  match code with
+  | None -> to_json [ ("error", String msg) ]
+  | Some c -> to_json [ ("error", String msg); ("code", String c) ]
 
 type request =
   | Check of {

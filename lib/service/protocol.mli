@@ -35,8 +35,10 @@ val to_json : (string * json) list -> string
     parser. *)
 val field : string -> string -> string option
 
-(** Convenience: an [{"error": msg}] response line. *)
-val error_response : string -> string
+(** Convenience: an [{"error": msg}] response line.  [code] adds a
+    stable machine-readable ["code"] field (e.g. ["worker_crashed"],
+    ["queue_full"]) so clients can react without parsing prose. *)
+val error_response : ?code:string -> string -> string
 
 type request =
   | Check of {

@@ -40,6 +40,7 @@ type job = {
   key : Key.t;
   deadline : float option;
   fd : Unix.file_descr;
+  mutable retries : int;
 }
 
 type state = {
@@ -53,42 +54,17 @@ type state = {
   stop : bool Atomic.t;
 }
 
-(* --- framing --- *)
+(* --- framing (EINTR/partial-IO handling lives in {!Wire}) --- *)
 
 let max_request_bytes = 65536
 
-let read_line_fd fd =
-  let buf = Buffer.create 128 in
-  let byte = Bytes.create 1 in
-  let rec go () =
-    if Buffer.length buf > max_request_bytes then Error "request too long"
-    else
-      match Unix.read fd byte 0 1 with
-      | 0 -> if Buffer.length buf = 0 then Error "connection closed" else Ok (Buffer.contents buf)
-      | _ ->
-        let c = Bytes.get byte 0 in
-        if c = '\n' then Ok (Buffer.contents buf)
-        else begin
-          Buffer.add_char buf c;
-          go ()
-        end
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
-  in
-  go ()
+let read_line_fd fd = Wire.read_line ~max_bytes:max_request_bytes fd
 
 (* Best-effort response write: a vanished client (EPIPE/ECONNRESET)
    is not the server's problem. *)
 let send fd line =
-  let data = Bytes.of_string (line ^ "\n") in
-  let len = Bytes.length data in
-  let rec go off =
-    if off < len then
-      match Unix.write fd data off (len - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
+  try Wire.write_line fd line
+  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -103,20 +79,24 @@ let load_netlist path =
     Error (Printf.sprintf "%s: %s" path msg)
   | Sys_error msg -> Error msg
 
-let status_of_verdict ~timed_out = function
-  | Cec.Equivalent _ -> "equivalent"
-  | Cec.Inequivalent _ -> "inequivalent"
-  | Cec.Undecided -> if timed_out then "timeout" else "undecided"
+let status_of_verdict ?degraded ~timed_out verdict =
+  match (degraded, verdict) with
+  | Some _, Cec.Undecided -> "uncertified"
+  | _, Cec.Equivalent _ -> "equivalent"
+  | _, Cec.Inequivalent _ -> "inequivalent"
+  | _, Cec.Undecided -> if timed_out then "timeout" else "undecided"
 
-let outcome_of_verdict ~timed_out = function
-  | Cec.Equivalent _ -> Metrics.Proved
-  | Cec.Inequivalent _ -> Metrics.Counterexample
-  | Cec.Undecided -> if timed_out then Metrics.Timeout else Metrics.Undecided
+let outcome_of_verdict ?degraded ~timed_out verdict =
+  match (degraded, verdict) with
+  | Some _, Cec.Undecided -> Metrics.Uncertified
+  | _, Cec.Equivalent _ -> Metrics.Proved
+  | _, Cec.Inequivalent _ -> Metrics.Counterexample
+  | _, Cec.Undecided -> if timed_out then Metrics.Timeout else Metrics.Undecided
 
-let check_response ~key ~cached ~ms ~conflicts ~timed_out verdict =
+let check_response ?degraded ~key ~cached ~ms ~conflicts ~timed_out verdict =
   let base =
     [
-      ("status", P.String (status_of_verdict ~timed_out verdict));
+      ("status", P.String (status_of_verdict ?degraded ~timed_out verdict));
       ("cached", P.Bool cached);
       ("key", P.String (Key.to_hex key));
       ("conflicts", P.Int conflicts);
@@ -132,7 +112,12 @@ let check_response ~key ~cached ~ms ~conflicts ~timed_out verdict =
       ]
     | Cec.Equivalent _ | Cec.Undecided -> []
   in
-  P.to_json (base @ extra)
+  let reason =
+    match (degraded, verdict) with
+    | Some r, Cec.Undecided -> [ ("reason", P.String r) ]
+    | _ -> []
+  in
+  P.to_json (base @ extra @ reason)
 
 let log st fmt =
   if st.cfg.log then Format.eprintf ("cecd: " ^^ fmt ^^ "@.") else Format.ifprintf Format.err_formatter fmt
@@ -141,6 +126,9 @@ let ms_since st t0 = 1000.0 *. (st.cfg.clock () -. t0)
 
 let process st job =
   let t0 = st.cfg.clock () in
+  (* Server-layer crash point: fires after the job left the queue, so
+     the supervised re-enqueue/typed-failure path gets exercised. *)
+  Fault.inject "worker.crash";
   let expired = match job.deadline with Some d -> t0 >= d | None -> false in
   if expired then begin
     Metrics.record_cancelled st.metrics;
@@ -173,18 +161,24 @@ let process st job =
         Metrics.record_error st.metrics;
         send job.fd (P.error_response msg)
       | result ->
-        Store.store st.store job.key result.Engine.verdict;
+        let degraded = result.Engine.degraded in
+        if degraded = None then Store.store st.store job.key result.Engine.verdict;
         let ms = ms_since st t0 in
         Metrics.record st.metrics
-          (outcome_of_verdict ~timed_out:result.Engine.timed_out result.Engine.verdict)
+          (outcome_of_verdict ?degraded ~timed_out:result.Engine.timed_out result.Engine.verdict)
           ~cached:false ~ms;
         log st "solved %s (%s, %d conflicts, %.2fms)" (Key.to_hex job.key)
-          (status_of_verdict ~timed_out:result.Engine.timed_out result.Engine.verdict)
+          (status_of_verdict ?degraded ~timed_out:result.Engine.timed_out result.Engine.verdict)
           result.Engine.conflicts ms;
         send job.fd
-          (check_response ~key:job.key ~cached:false ~ms ~conflicts:result.Engine.conflicts
-             ~timed_out:result.Engine.timed_out result.Engine.verdict))
+          (check_response ?degraded ~key:job.key ~cached:false ~ms
+             ~conflicts:result.Engine.conflicts ~timed_out:result.Engine.timed_out
+             result.Engine.verdict))
 
+(* Worker supervision: a job whose [process] raises is re-enqueued
+   once (any worker may pick it up); a second crash answers the client
+   with a typed [worker_crashed] error — the connection is never left
+   hanging, and one poisoned job can never wedge the pool. *)
 let rec worker st =
   Mutex.lock st.lock;
   while Queue.is_empty st.queue && not st.draining do
@@ -194,13 +188,42 @@ let rec worker st =
   else begin
     let job = Queue.pop st.queue in
     Mutex.unlock st.lock;
-    (try process st job
-     with e ->
-       Metrics.record_error st.metrics;
-       send job.fd (P.error_response (Printexc.to_string e)));
-    close_quietly job.fd;
+    (match process st job with
+    | () -> close_quietly job.fd
+    | exception e ->
+      if job.retries = 0 then begin
+        job.retries <- 1;
+        Metrics.record_retry st.metrics;
+        log st "job %s crashed (%s), re-enqueued" (Key.to_hex job.key) (Printexc.to_string e);
+        (* Re-enqueue past the capacity check: bouncing an accepted job
+           would turn a transient fault into a spurious rejection. *)
+        Mutex.lock st.lock;
+        Queue.push job st.queue;
+        Condition.signal st.nonempty;
+        Mutex.unlock st.lock
+      end
+      else begin
+        Metrics.record_error st.metrics;
+        log st "job %s crashed twice (%s): failing" (Key.to_hex job.key) (Printexc.to_string e);
+        send job.fd (P.error_response ~code:"worker_crashed" (Printexc.to_string e));
+        close_quietly job.fd
+      end);
     worker st
   end
+
+(* Outer supervisor: [worker] itself is not supposed to raise (crashes
+   are absorbed per-job above), but if it ever does — a bug in the
+   bookkeeping, an I/O error outside the per-job handler — the domain
+   restarts its loop instead of silently shrinking the pool. *)
+let supervised_worker st =
+  let rec go () =
+    try worker st
+    with e ->
+      Metrics.record_worker_restart st.metrics;
+      log st "worker loop crashed (%s), restarting" (Printexc.to_string e);
+      go ()
+  in
+  go ()
 
 let stats_response st =
   P.to_json (Metrics.fields (Metrics.snapshot st.metrics) @ Store.fields (Store.stats st.store))
@@ -209,6 +232,9 @@ let stats_response st =
    without solving is answered inline; [check] jobs go to the queue,
    which then owns the connection. *)
 let handle_connection st fd =
+  (* [peer.slow] models a stalling client on the accept path; the
+     daemon must stay responsive and drain cleanly regardless. *)
+  if Fault.fire "peer.slow" then Unix.sleepf 0.05;
   match read_line_fd fd with
   | Error msg ->
     send fd (P.error_response msg);
@@ -259,7 +285,7 @@ let handle_connection st fd =
             close_quietly fd
           end
           else begin
-            Queue.push { golden = a; revised = b; key; deadline; fd } st.queue;
+            Queue.push { golden = a; revised = b; key; deadline; fd; retries = 0 } st.queue;
             Condition.signal st.nonempty;
             Mutex.unlock st.lock
           end
@@ -267,9 +293,27 @@ let handle_connection st fd =
 
 (* --- life cycle --- *)
 
+(* Is some process listening on the socket at [path]?  Distinguishes a
+   live daemon (connect succeeds) from a stale file left by a crashed
+   one (ECONNREFUSED). *)
+let socket_live path =
+  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let live =
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+  in
+  close_quietly probe;
+  live
+
 let bind_socket path =
   (match Unix.stat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    (* Probe before unlinking: clobbering a live daemon's socket would
+       orphan it silently; only a provably stale file is removed. *)
+    if socket_live path then
+      failwith (Printf.sprintf "%s: a daemon is already listening on this socket" path)
+    else Unix.unlink path
   | _ -> failwith (Printf.sprintf "%s: exists and is not a socket" path)
   | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
@@ -309,7 +353,7 @@ let run cfg =
   let worker_regs = Array.init (max 1 cfg.workers) (fun _ -> Obs.Registry.create ()) in
   let workers =
     Array.init (max 1 cfg.workers) (fun i ->
-        Domain.spawn (fun () -> Obs.with_ambient worker_regs.(i) (fun () -> worker st)))
+        Domain.spawn (fun () -> Obs.with_ambient worker_regs.(i) (fun () -> supervised_worker st)))
   in
   log st "listening on %s (store %s, %d worker(s))" cfg.socket_path cfg.store_dir
     (Array.length workers);

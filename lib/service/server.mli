@@ -21,7 +21,21 @@
     accepting, {e drains} the queue (every accepted request is still
     answered), joins the workers, persists the store index, removes the
     socket, and returns the final metrics.  When [log] is set the
-    metrics and store counters are also printed to stderr. *)
+    metrics and store counters are also printed to stderr.
+
+    {2 Failure behaviour}
+
+    A job whose processing raises (including the injected
+    [worker.crash] {!Fault}) is re-enqueued once; a second crash
+    answers its client with a typed [worker_crashed] error — accepted
+    connections are always answered, never left hanging.  A worker
+    loop that dies outside the per-job handler is restarted by a
+    supervisor (counted in [worker_restarts]).  A degraded solve
+    (crashed partitions, failed certificate stitching) is reported as
+    status ["uncertified"] with a [reason] field rather than claiming
+    a verdict, and its result is not cached.  At startup a stale
+    socket file is removed only after a probe connect proves no daemon
+    is listening, and the store runs {!Store.fsck} before serving. *)
 
 type config = {
   socket_path : string;

@@ -7,8 +7,10 @@
 
 module Key = Key
 module Protocol = Protocol
+module Wire = Wire
 module Metrics = Metrics
 module Store = Store
 module Engine = Engine
 module Server = Server
+module Client = Client
 module Batch = Batch

@@ -22,6 +22,7 @@ type stats = {
   stores : int;
   evictions : int;
   corrupt : int;
+  write_failures : int;
 }
 
 type t = {
@@ -38,6 +39,7 @@ type t = {
   mutable store_count : int;
   mutable evictions : int;
   mutable corrupt : int;
+  mutable write_failures : int;
   lock : Mutex.t;
 }
 
@@ -129,30 +131,6 @@ let load_entries t =
       if stamp > t.clock then t.clock <- stamp)
     entries
 
-let create ?capacity_bytes ?(paranoid = true) ?(cert_format = Bin) ~dir () =
-  let objects = Filename.concat dir "objects" in
-  mkdir_p objects;
-  let t =
-    {
-      dir;
-      objects;
-      capacity = capacity_bytes;
-      paranoid;
-      cert_format;
-      table = Hashtbl.create 64;
-      clock = 0;
-      total_bytes = 0;
-      hits = 0;
-      misses = 0;
-      store_count = 0;
-      evictions = 0;
-      corrupt = 0;
-      lock = Mutex.create ();
-    }
-  in
-  load_entries t;
-  t
-
 let dir t = t.dir
 let paranoid t = t.paranoid
 let entry_path t key = object_path t (Key.to_hex key)
@@ -199,10 +177,22 @@ let split_line data =
    I/O, version skew, parse errors, a proof that no longer checks, a
    counterexample that no longer distinguishes — is an [Error], which
    [find] turns into entry deletion + miss. *)
+(* Simulated bit-rot ([store.corrupt]): flip one mid-file byte before
+   parsing, exercising the validation/drop/miss path on reads. *)
+let corrupt_bytes data =
+  if String.length data = 0 then data
+  else begin
+    let b = Bytes.of_string data in
+    let i = Bytes.length b / 2 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x20));
+    Bytes.unsafe_to_string b
+  end
+
 let load_verdict t path ~golden ~revised =
   match read_file path with
   | exception Sys_error msg -> Error msg
   | data -> (
+    let data = if Fault.fire "store.corrupt" then corrupt_bytes data else data in
     let first, rest = split_line data in
     if first <> header && first <> legacy_header then
       Error (Printf.sprintf "version/header mismatch: %S (want %S)" first header)
@@ -272,6 +262,183 @@ let drop_entry t hex (e : entry) =
   t.total_bytes <- t.total_bytes - e.bytes;
   try Sys.remove (object_path t hex) with Sys_error _ -> ()
 
+(* --- fsck --- *)
+
+type fsck_report = {
+  scanned : int;
+  valid : int;
+  orphan_tmp : int;
+  quarantined : int;
+  adopted : int;
+  dropped : int;
+}
+
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+(* Move a suspect file out of the store.  Quarantining must never make
+   recovery worse: if the rename itself fails the file is deleted, so
+   a repeated fsck always converges to a consistent store. *)
+let quarantine t path =
+  let dst_dir = quarantine_dir t in
+  mkdir_p dst_dir;
+  let base = Filename.basename path in
+  let rec fresh i =
+    let cand =
+      if i = 0 then Filename.concat dst_dir base
+      else Filename.concat dst_dir (Printf.sprintf "%s.%d" base i)
+    in
+    if Sys.file_exists cand then fresh (i + 1) else cand
+  in
+  try Sys.rename path (fresh 0) with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let is_tmp_name name =
+  String.length name > 5 && String.sub name 0 5 = ".tmp-" && Filename.check_suffix name ".part"
+
+(* Structural validation of one object's bytes — no pair in hand, so
+   this checks everything checkable without a miter CNF: header and
+   verdict-line shape, trace parsability, and for binary bodies a full
+   [Stream_check] pass (every chain re-resolves, root empty) minus the
+   leaf-origin check that needs the formula. *)
+let validate_object data =
+  let first, rest = split_line data in
+  if first <> header && first <> legacy_header then
+    Error (Printf.sprintf "header mismatch: %S" first)
+  else
+    let verdict_line, body = split_line rest in
+    match String.split_on_char ' ' verdict_line with
+    | [ "equivalent" ] | [ "equivalent"; "trace" ] -> (
+      match Proof.Export.trace_of_string body with
+      | exception Failure msg -> Error msg
+      | exception Invalid_argument msg -> Error msg
+      | _ -> Ok ())
+    | [ "equivalent"; "bin" ] -> (
+      match Proof.Stream_check.check body with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Format.asprintf "%a" Proof.Stream_check.pp_error e))
+    | [ "inequivalent"; bits ] ->
+      if bits <> "" && String.for_all (fun c -> c = '0' || c = '1') bits then Ok ()
+      else Error "malformed counterexample bits"
+    | _ -> Error (Printf.sprintf "malformed verdict line %S" verdict_line)
+
+let fsck_locked t =
+  let orphan_tmp = ref 0
+  and quarantined = ref 0
+  and adopted = ref 0
+  and dropped = ref 0
+  and valid = ref 0
+  and scanned = ref 0 in
+  let sweep_tmp dirpath =
+    match Sys.readdir dirpath with
+    | exception Sys_error _ -> ()
+    | names ->
+      Array.iter
+        (fun name ->
+          if is_tmp_name name then begin
+            quarantine t (Filename.concat dirpath name);
+            incr orphan_tmp;
+            incr quarantined
+          end)
+        names
+  in
+  sweep_tmp t.dir;
+  sweep_tmp t.objects;
+  (match Sys.readdir t.objects with
+  | exception Sys_error _ -> ()
+  | names ->
+    Array.iter
+      (fun name ->
+        let path = Filename.concat t.objects name in
+        if not (try Sys.is_directory path with Sys_error _ -> true) then begin
+          incr scanned;
+          let entry = Hashtbl.find_opt t.table name in
+          let condemn () =
+            (match entry with
+            | Some e ->
+              Hashtbl.remove t.table name;
+              t.total_bytes <- t.total_bytes - e.bytes
+            | None -> ());
+            quarantine t path;
+            incr quarantined
+          in
+          if Key.of_hex name = None then condemn ()
+          else
+            match read_file path with
+            | exception Sys_error _ -> condemn ()
+            | data -> (
+              match validate_object data with
+              | Error _ -> condemn ()
+              | Ok () -> (
+                incr valid;
+                let bytes = String.length data in
+                match entry with
+                | Some e ->
+                  if e.bytes <> bytes then begin
+                    t.total_bytes <- t.total_bytes - e.bytes + bytes;
+                    e.bytes <- bytes
+                  end
+                | None ->
+                  (* A valid object the index forgot (crash between the
+                     object rename and the index write): re-adopt it so
+                     warm hits keep serving after recovery. *)
+                  Hashtbl.replace t.table name { bytes; stamp = 0 };
+                  t.total_bytes <- t.total_bytes + bytes;
+                  incr adopted))
+        end)
+      names);
+  let missing =
+    Hashtbl.fold
+      (fun hex (e : entry) acc ->
+        if Sys.file_exists (object_path t hex) then acc else (hex, e) :: acc)
+      t.table []
+  in
+  List.iter
+    (fun (hex, (e : entry)) ->
+      Hashtbl.remove t.table hex;
+      t.total_bytes <- t.total_bytes - e.bytes;
+      incr dropped)
+    missing;
+  save_index t;
+  {
+    scanned = !scanned;
+    valid = !valid;
+    orphan_tmp = !orphan_tmp;
+    quarantined = !quarantined;
+    adopted = !adopted;
+    dropped = !dropped;
+  }
+
+let fsck t = with_lock t (fun () -> fsck_locked t)
+
+let pp_fsck fmt r =
+  Format.fprintf fmt "scanned=%d valid=%d orphan_tmp=%d quarantined=%d adopted=%d dropped=%d"
+    r.scanned r.valid r.orphan_tmp r.quarantined r.adopted r.dropped
+
+let create ?capacity_bytes ?(paranoid = true) ?(cert_format = Bin) ?(startup_fsck = true) ~dir () =
+  let objects = Filename.concat dir "objects" in
+  mkdir_p objects;
+  let t =
+    {
+      dir;
+      objects;
+      capacity = capacity_bytes;
+      paranoid;
+      cert_format;
+      table = Hashtbl.create 64;
+      clock = 0;
+      total_bytes = 0;
+      hits = 0;
+      misses = 0;
+      store_count = 0;
+      evictions = 0;
+      corrupt = 0;
+      write_failures = 0;
+      lock = Mutex.create ();
+    }
+  in
+  load_entries t;
+  if startup_fsck then ignore (fsck_locked t);
+  t
+
 let find t key ~golden ~revised =
   with_lock t (fun () ->
       let hex = Key.to_hex key in
@@ -312,13 +479,39 @@ let evict_lru t =
 let over_capacity t =
   match t.capacity with Some cap -> t.total_bytes > cap | None -> false
 
+(* Object publication with injection points.  [store.write] simulates
+   an I/O error / crash before any data lands (the orphaned tmp file
+   stays behind for fsck); [store.torn_write] simulates a crash after
+   publishing only a truncated prefix — the worst case tmp+rename is
+   supposed to prevent, forced here so fsck provably cleans it up. *)
+let write_object_atomic t hex data =
+  let path = object_path t hex in
+  let tmp = Filename.temp_file ~temp_dir:t.objects ".tmp-" ".part" in
+  if Fault.fire "store.write" then raise (Fault.Injected "store.write");
+  if Fault.fire "store.torn_write" then begin
+    let cut = max 1 (String.length data / 3) in
+    Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc (String.sub data 0 cut));
+    Sys.rename tmp path;
+    raise (Fault.Injected "store.torn_write")
+  end;
+  (try Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc data)
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
 let store t key verdict =
   match encode ~format:t.cert_format verdict with
   | None -> ()
   | Some data ->
     with_lock t (fun () ->
         let hex = Key.to_hex key in
-        write_atomic ~path:(object_path t hex) data;
+        match write_object_atomic t hex data with
+        | exception (Fault.Injected _ | Sys_error _) ->
+          (* A verdict that cannot be cached is still a verdict: count
+             the failure and serve the caller uncached. *)
+          t.write_failures <- t.write_failures + 1
+        | () ->
         let bytes = String.length data in
         (match Hashtbl.find_opt t.table hex with
         | Some e ->
@@ -350,6 +543,7 @@ let stats t =
         stores = t.store_count;
         evictions = t.evictions;
         corrupt = t.corrupt;
+        write_failures = t.write_failures;
       })
 
 let fields s =
@@ -360,8 +554,10 @@ let fields s =
       ("store_stores", Int s.stores);
       ("store_evictions", Int s.evictions);
       ("store_corrupt", Int s.corrupt);
+      ("store_write_failures", Int s.write_failures);
     ]
 
 let pp_stats fmt s =
-  Format.fprintf fmt "entries=%d bytes=%d hits=%d misses=%d stores=%d evictions=%d corrupt=%d"
-    s.entries s.bytes s.hits s.misses s.stores s.evictions s.corrupt
+  Format.fprintf fmt
+    "entries=%d bytes=%d hits=%d misses=%d stores=%d evictions=%d corrupt=%d write_failures=%d"
+    s.entries s.bytes s.hits s.misses s.stores s.evictions s.corrupt s.write_failures

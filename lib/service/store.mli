@@ -75,6 +75,9 @@ type stats = {
   stores : int;
   evictions : int;
   corrupt : int;  (** entries rejected at load time and deleted *)
+  write_failures : int;
+      (** object writes that failed (I/O error or injected fault); the
+          verdict was served uncached *)
 }
 
 (** Version stamp of the index and certificate file formats. *)
@@ -83,9 +86,17 @@ val format_version : int
 (** Open (creating directories as needed) a store rooted at [dir].
     [capacity_bytes] bounds the total certificate bytes (unbounded when
     omitted); [paranoid] defaults to [true]; [cert_format] (default
-    [Bin]) picks the body format for newly stored certificates. *)
+    [Bin]) picks the body format for newly stored certificates;
+    [startup_fsck] (default [true]) runs {!fsck} before the store
+    serves, so a crashed predecessor's debris never reaches readers. *)
 val create :
-  ?capacity_bytes:int -> ?paranoid:bool -> ?cert_format:cert_format -> dir:string -> unit -> t
+  ?capacity_bytes:int ->
+  ?paranoid:bool ->
+  ?cert_format:cert_format ->
+  ?startup_fsck:bool ->
+  dir:string ->
+  unit ->
+  t
 
 val dir : t -> string
 val paranoid : t -> bool
@@ -118,3 +129,35 @@ val stats : t -> stats
 val fields : stats -> (string * Protocol.json) list
 
 val pp_stats : Format.formatter -> stats -> unit
+
+(** {2 Crash recovery}
+
+    A crash (or an injected {!Fault} mid-write) can leave three kinds
+    of debris: orphaned [.tmp-*.part] files, truncated or garbage
+    objects, and index/object disagreements.  {!fsck} sweeps all
+    three: tmp files and structurally invalid objects are moved to
+    [DIR/quarantine] (never deleted — evidence survives for forensics;
+    deletion is the fallback only if the move itself fails), valid
+    objects missing from the index are re-adopted so warm hits keep
+    serving, and index entries without an object are dropped.  Binary
+    bodies are re-validated with the streaming checker
+    ({!Proof.Stream_check}, structural mode — the pair-specific leaf
+    check still happens at {!find} time in paranoid mode).  Runs by
+    default when a store is opened. *)
+
+type fsck_report = {
+  scanned : int;  (** object files examined *)
+  valid : int;  (** objects that passed structural validation *)
+  orphan_tmp : int;  (** leftover [.tmp-*.part] files quarantined *)
+  quarantined : int;  (** total files moved to quarantine (incl. tmp) *)
+  adopted : int;  (** valid objects re-added to a forgetful index *)
+  dropped : int;  (** index entries whose object was missing *)
+}
+
+(** Sweep the store directory into a consistent state (see above). *)
+val fsck : t -> fsck_report
+
+(** Where quarantined files go: [DIR/quarantine]. *)
+val quarantine_dir : t -> string
+
+val pp_fsck : Format.formatter -> fsck_report -> unit

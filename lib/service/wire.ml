@@ -1,0 +1,31 @@
+let read_line ?(max_bytes = 65536) fd =
+  let buf = Buffer.create 128 in
+  let chunk = Bytes.create 1 in
+  let rec go () =
+    if Buffer.length buf > max_bytes then Error "request too long"
+    else
+      match Unix.read fd chunk 0 1 with
+      | 0 -> if Buffer.length buf = 0 then Error "connection closed" else Ok (Buffer.contents buf)
+      | _ ->
+        let c = Bytes.get chunk 0 in
+        if c = '\n' then Ok (Buffer.contents buf)
+        else begin
+          Buffer.add_char buf c;
+          go ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  go ()
+
+let write_all fd s =
+  let data = Bytes.unsafe_of_string s in
+  let len = Bytes.length data in
+  let rec go off =
+    if off < len then
+      match Unix.write fd data off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let write_line fd s = write_all fd (s ^ "\n")

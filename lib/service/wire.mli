@@ -1,0 +1,24 @@
+(** Signal-safe line framing over raw file descriptors.
+
+    The daemon protocol is one JSON line per request/response.  Raw
+    [Unix.read]/[Unix.write] can return early on [EINTR] (the daemon
+    installs SIGINT/SIGTERM handlers) or write partially; every
+    framing loop in server and client goes through these helpers so
+    no byte is dropped or duplicated on a signal. *)
+
+(** [read_line ?max_bytes fd] reads up to (and consuming) the next
+    ['\n'], retrying on [EINTR].  [Ok line] excludes the newline; EOF
+    before any byte is [Error "connection closed"]; EOF mid-line
+    returns the partial line (the peer closed after its last,
+    unterminated line).  Lines over [max_bytes] (default 65536) are
+    [Error "request too long"].
+    @raise Unix.Unix_error on I/O errors other than [EINTR]. *)
+val read_line : ?max_bytes:int -> Unix.file_descr -> (string, string) result
+
+(** Write the whole string, retrying on [EINTR] and short writes.
+    @raise Unix.Unix_error on other I/O errors ([EPIPE] included —
+    callers decide whether a vanished peer matters). *)
+val write_all : Unix.file_descr -> string -> unit
+
+(** [write_line fd s] is [write_all fd (s ^ "\n")]. *)
+val write_line : Unix.file_descr -> string -> unit
