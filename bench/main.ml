@@ -509,11 +509,9 @@ let f7 () =
   let rows =
     List.map
       (fun case ->
-        let run incremental =
-          check_case (Cec.Sweeping { Sweep.default_config with Sweep.incremental }) case
-        in
-        let fresh, t_fresh = run false in
-        let inc, t_inc = run true in
+        let run mode = check_case (Cec.Sweeping { Sweep.default_config with Sweep.mode }) case in
+        let fresh, t_fresh = run Sweep.Perpair in
+        let inc, t_inc = run Sweep.Incremental in
         let proof_res report =
           let cert = cert_of report in
           (Pstats.of_root cert.Cec.proof ~root:cert.Cec.root).Pstats.resolutions
@@ -549,7 +547,7 @@ let f8 () =
         let run engine = time (fun () -> Cec.check_bounded ~frames engine a b) in
         let mono, mono_t = run Cec.Monolithic in
         let sweep, sweep_t =
-          run (Cec.Sweeping { Sweep.default_config with Sweep.incremental = true })
+          run (Cec.Sweeping { Sweep.default_config with Sweep.mode = Sweep.Incremental })
         in
         let res report =
           match report.Cec.verdict with
@@ -990,6 +988,81 @@ let p5 () =
       output_string oc (Obs.Export.stats_json merged));
   Printf.printf "wrote BENCH_p5.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
 
+let p6 () =
+  (* Per-pair vs single-instance incremental sweeping on the SAT-bound
+     rows of the suite (the mul*/add32 cases that dominate BENCH_p3).
+     Each case runs the 4-domain partitioned check once per mode under
+     a fresh registry; wall time, SAT calls, conflicts, the queries
+     settled by root-fact reuse and the learned clauses carried across
+     queries land side by side, and per-case gauges (including the
+     speedup) go to BENCH_p6.json. *)
+  let merged = Obs.Registry.create () in
+  let sat_bound =
+    List.filter
+      (fun case ->
+        let n = case.Circuits.Suite.name in
+        String.starts_with ~prefix:"mul" n || String.starts_with ~prefix:"add32" n)
+      Circuits.Suite.default
+  in
+  let config mode =
+    {
+      Parallel.default_config with
+      Parallel.num_domains = 4;
+      engine = Cec.Sweeping { Sweep.default_config with Sweep.mode };
+    }
+  in
+  let rows =
+    List.map
+      (fun case ->
+        let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
+        let run mode =
+          let reg = Obs.Registry.create () in
+          let report, t =
+            Obs.with_ambient reg (fun () ->
+                time (fun () -> Parallel.check ~config:(config mode) golden revised))
+          in
+          (match report.Parallel.verdict with
+          | Cec.Equivalent _ -> ()
+          | Cec.Inequivalent _ | Cec.Undecided -> failwith "benchmark case not proved (bug)");
+          (reg, t)
+        in
+        let reg_pp, t_pp = run Sweep.Perpair in
+        let reg_incr, t_incr = run Sweep.Incremental in
+        let value reg name = try List.assoc name (Obs.Registry.counters reg) with Not_found -> 0 in
+        let speedup = t_pp /. t_incr in
+        let name = case.Circuits.Suite.name in
+        Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p6." ^ name ^ "_perpair_ms")) (1000.0 *. t_pp);
+        Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p6." ^ name ^ "_incr_ms")) (1000.0 *. t_incr);
+        Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p6." ^ name ^ "_speedup")) speedup;
+        Obs.Registry.merge_into ~into:merged reg_incr;
+        [
+          name;
+          Tables.fmt_ms t_pp;
+          Tables.fmt_ms t_incr;
+          Printf.sprintf "%.1fx" speedup;
+          string_of_int (value reg_pp "sweep.sat_calls");
+          string_of_int (value reg_incr "sweep.sat_calls");
+          string_of_int (value reg_incr "sweep.incremental_reuse");
+          string_of_int (value reg_pp "sat.conflicts");
+          string_of_int (value reg_incr "sat.conflicts");
+          string_of_int (value reg_incr "sat.clauses_carried");
+        ])
+      sat_bound
+  in
+  Tables.print
+    ~title:
+      "P6: per-pair vs incremental sweeping on the SAT-bound rows (4 domains; one persistent \
+       solver per partition in incr mode)"
+    ~columns:
+      [
+        "case"; "perpair ms"; "incr ms"; "speedup"; "calls pp"; "calls incr"; "reused";
+        "confl pp"; "confl incr"; "carried";
+      ]
+    ~rows;
+  Out_channel.with_open_text "BENCH_p6.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p6.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -1043,7 +1116,7 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            ignore
              (Cec.check_miter
-                (Cec.Sweeping { Sweep.default_config with Sweep.incremental = true })
+                (Cec.Sweeping { Sweep.default_config with Sweep.mode = Sweep.Incremental })
                 small_miter)));
     Test.make ~name:"f8-bounded-unroll"
       (Staged.stage (fun () ->
@@ -1090,6 +1163,7 @@ let experiments =
     ("p3", p3);
     ("p4", p4);
     ("p5", p5);
+    ("p6", p6);
   ]
 
 let () =
@@ -1106,7 +1180,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p5, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p6, bechamel)\n" name;
           exit 2
         end)
     selected

@@ -134,12 +134,10 @@ let run_dimacs path output =
       prerr_endline msg;
       2)
 
-let engine_of_string lemma_reuse words max_conflicts incremental = function
+let engine_of_string lemma_reuse words max_conflicts mode = function
   | "mono" | "monolithic" -> Ok Cec.Monolithic
   | "sweep" | "sweeping" ->
-    Ok
-      (Cec.Sweeping
-         { Sweep.default_config with Sweep.lemma_reuse; words; max_conflicts; incremental })
+    Ok (Cec.Sweeping { Sweep.default_config with Sweep.lemma_reuse; words; max_conflicts; mode })
   | other -> Error (Printf.sprintf "unknown engine %S (mono|sweep)" other)
 
 let print_cex cex =
@@ -176,7 +174,7 @@ let print_partition (p : Parallel.partition) =
     p.Parallel.output status p.Parallel.cone_ands p.Parallel.attempts p.Parallel.conflicts
     p.Parallel.sat_calls
 
-let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental jobs stats_out
+let run_cec path_a path_b engine_name words no_lemmas max_conflicts sweep_mode jobs stats_out
     trace_out proof_out cert_format validate faults =
   with_faults faults @@ fun () ->
   match (read_aiger path_a, read_aiger path_b) with
@@ -184,7 +182,7 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts incremental 
     prerr_endline msg;
     2
   | Ok a, Ok b -> (
-    match engine_of_string (not no_lemmas) words max_conflicts incremental engine_name with
+    match engine_of_string (not no_lemmas) words max_conflicts sweep_mode engine_name with
     | Error msg ->
       prerr_endline msg;
       2
@@ -409,7 +407,7 @@ let run_opt path passes words output =
       prerr_endline msg;
       2)
 
-let run_bounded path_a path_b frames engine_name incremental =
+let run_bounded path_a path_b frames engine_name sweep_mode =
   let read path =
     try Ok (Aig.Seq.read_file path) with
     | Aig.Seq.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
@@ -420,7 +418,7 @@ let run_bounded path_a path_b frames engine_name incremental =
     prerr_endline msg;
     2
   | Ok a, Ok b -> (
-    match engine_of_string true Sweep.default_config.Sweep.words None incremental engine_name with
+    match engine_of_string true Sweep.default_config.Sweep.words None sweep_mode engine_name with
     | Error msg ->
       prerr_endline msg;
       2
@@ -448,7 +446,7 @@ let run_bounded path_a path_b frames engine_name incremental =
           print_endline "UNDECIDED";
           4)))
 
-let run_bmc path frames engine_name incremental =
+let run_bmc path frames engine_name sweep_mode =
   match
     try Ok (Aig.Seq.read_file path) with
     | Aig.Seq.Parse_error msg -> Error (Printf.sprintf "%s: %s" path msg)
@@ -458,7 +456,7 @@ let run_bmc path frames engine_name incremental =
     prerr_endline msg;
     2
   | Ok seq -> (
-    match engine_of_string true Sweep.default_config.Sweep.words None incremental engine_name with
+    match engine_of_string true Sweep.default_config.Sweep.words None sweep_mode engine_name with
     | Error msg ->
       prerr_endline msg;
       2
@@ -484,12 +482,18 @@ let run_bmc path frames engine_name incremental =
 
 let mb_to_bytes = Option.map (fun mb -> mb * 1024 * 1024)
 
-let service_engine jobs budget =
-  let base = { Service.Engine.default_config with Service.Engine.jobs } in
+let service_engine jobs budget sweep_mode =
+  let base =
+    {
+      Service.Engine.default_config with
+      Service.Engine.jobs;
+      engine = Cec.Sweeping { Sweep.default_config with Sweep.mode = sweep_mode };
+    }
+  in
   match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
 
-let run_serve socket store capacity_mb no_paranoid workers queue jobs budget timeout_ms quiet
-    stats_out trace_out faults =
+let run_serve socket store capacity_mb no_paranoid workers queue jobs budget sweep_mode timeout_ms
+    quiet stats_out trace_out faults =
   with_faults faults @@ fun () ->
   let cfg =
     {
@@ -498,7 +502,7 @@ let run_serve socket store capacity_mb no_paranoid workers queue jobs budget tim
       paranoid = not no_paranoid;
       workers;
       queue_capacity = queue;
-      engine = service_engine jobs budget;
+      engine = service_engine jobs budget sweep_mode;
       default_timeout_ms = timeout_ms;
       log = not quiet;
       stats_out;
@@ -550,8 +554,8 @@ let run_client socket ping stats shutdown timeout_ms retries retry_delay_ms gold
       prerr_endline "client: expected GOLDEN and REVISED paths (or --ping/--stats/--shutdown)";
       2
 
-let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget timeout_ms
-    stats_out trace_out faults =
+let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget sweep_mode
+    timeout_ms stats_out trace_out faults =
   with_faults faults @@ fun () ->
   match Service.Batch.parse_manifest manifest with
   | Error msg ->
@@ -572,7 +576,9 @@ let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget
     let reg = Obs.Registry.create () in
     let s =
       Obs.with_ambient reg (fun () ->
-          Service.Batch.run ~store ~engine:(service_engine jobs budget) ?timeout_ms ~on_result
+          Service.Batch.run ~store
+            ~engine:(service_engine jobs budget sweep_mode)
+            ?timeout_ms ~on_result
             pairs)
     in
     export_obs reg ~stats_out ~trace_out;
@@ -690,6 +696,19 @@ let dimacs_cmd =
     (Cmd.info "dimacs" ~doc:"Export a single-output miter's CNF (with the output unit) in DIMACS.")
     Term.(const run_dimacs $ file_pos 0 "Single-output AIGER file." $ output_arg)
 
+let sweep_mode_conv = Arg.enum [ ("perpair", Sweep.Perpair); ("incr", Sweep.Incremental) ]
+
+let sweep_mode_arg =
+  Arg.(
+    value
+    & opt sweep_mode_conv Sweep.Perpair
+    & info [ "sweep" ] ~docv:"MODE"
+        ~doc:
+          "Sweeping engine mode: $(b,perpair) (a fresh solver per equivalence query, the \
+           default) or $(b,incr) (one persistent incremental solver per partition — cone CNF \
+           loaded once, queries issued as solver assumptions, learned clauses and proved lemmas \
+           carried across queries).")
+
 let cec_cmd =
   let engine =
     Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
@@ -724,12 +743,6 @@ let cec_cmd =
          (compact CECB binary certificate with deletion records).  $(b,check-proof) \
          auto-detects either."
   in
-  let incremental =
-    Arg.(
-      value & flag
-      & info [ "incremental" ]
-          ~doc:"One persistent solver with native assumptions instead of a fresh solver per query.")
-  in
   let jobs =
     Arg.(
       value & opt int 0
@@ -751,7 +764,7 @@ let cec_cmd =
          ])
     Term.(
       const run_cec $ file_pos 0 "Golden AIGER file." $ file_pos 1 "Revised AIGER file." $ engine
-      $ words $ no_lemmas $ budget $ incremental $ jobs $ stats_out_arg $ trace_out_arg
+      $ words $ no_lemmas $ budget $ sweep_mode_arg $ jobs $ stats_out_arg $ trace_out_arg
       $ proof_out $ cert_format $ validate $ faults_arg)
 
 let check_proof_cmd =
@@ -798,28 +811,22 @@ let bounded_cmd =
   let engine =
     Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
   in
-  let incremental =
-    Arg.(value & flag & info [ "incremental" ] ~doc:"Incremental sweeping engine.")
-  in
   Cmd.v
     (Cmd.info "bounded"
        ~doc:"Bounded sequential equivalence of two latch-bearing AIGER files (unroll + CEC).")
     Term.(
       const run_bounded $ file_pos 0 "Golden sequential AIGER." $ file_pos 1 "Revised sequential AIGER."
-      $ frames $ engine $ incremental)
+      $ frames $ engine $ sweep_mode_arg)
 
 let bmc_cmd =
   let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Unrolling depth.") in
   let engine =
     Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
   in
-  let incremental =
-    Arg.(value & flag & info [ "incremental" ] ~doc:"Incremental sweeping engine.")
-  in
   Cmd.v
     (Cmd.info "bmc"
        ~doc:"Bounded safety: treat every output of a sequential AIGER file as a bad-state flag.")
-    Term.(const run_bmc $ file_pos 0 "Sequential AIGER file." $ frames $ engine $ incremental)
+    Term.(const run_bmc $ file_pos 0 "Sequential AIGER file." $ frames $ engine $ sweep_mode_arg)
 
 let sat_cmd =
   let trace_out =
@@ -904,8 +911,8 @@ let serve_cmd =
          ])
     Term.(
       const run_serve $ socket_arg $ store_arg $ capacity_arg $ no_paranoid_arg $ workers $ queue
-      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ quiet $ stats_out_arg
-      $ trace_out_arg $ faults_arg)
+      $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg $ quiet
+      $ stats_out_arg $ trace_out_arg $ faults_arg)
 
 let client_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
@@ -965,8 +972,8 @@ let batch_cmd =
          ])
     Term.(
       const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ cert_format
-      $ service_jobs_arg $ service_budget_arg $ timeout_ms_arg $ stats_out_arg $ trace_out_arg
-      $ faults_arg)
+      $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg $ stats_out_arg
+      $ trace_out_arg $ faults_arg)
 
 let fsck_cmd =
   Cmd.v

@@ -17,7 +17,7 @@ let () =
     (Aig.Seq.num_latches b);
   List.iter
     (fun frames ->
-      let engine = Cec.Sweeping { Sweep.default_config with Sweep.incremental = true } in
+      let engine = Cec.Sweeping { Sweep.default_config with Sweep.mode = Sweep.Incremental } in
       match (Cec.check_bounded ~frames engine a b).Cec.verdict with
       | Cec.Equivalent cert ->
         let stats = Proof.Pstats.of_root cert.Cec.proof ~root:cert.Cec.root in

@@ -4,16 +4,27 @@ module Formula = Cnf.Formula
 module Solver = Sat.Solver
 module R = Proof.Resolution
 
+type mode =
+  | Perpair
+  | Incremental
+
+let mode_to_string = function Perpair -> "perpair" | Incremental -> "incr"
+
+let mode_of_string = function
+  | "perpair" | "per-pair" -> Some Perpair
+  | "incr" | "incremental" -> Some Incremental
+  | _ -> None
+
 type config = {
   words : int;
   seed : int;
   max_conflicts : int option;
   lemma_reuse : bool;
-  incremental : bool;
+  mode : mode;
 }
 
 let default_config =
-  { words = 8; seed = 1; max_conflicts = None; lemma_reuse = true; incremental = false }
+  { words = 8; seed = 1; max_conflicts = None; lemma_reuse = true; mode = Perpair }
 
 type stats = {
   mutable sat_calls : int;
@@ -23,10 +34,20 @@ type stats = {
   mutable const_merges : int;
   mutable lemmas : int;
   mutable conflicts : int;
+  mutable reused : int;
 }
 
 let fresh_stats () =
-  { sat_calls = 0; cex = 0; unknowns = 0; merges = 0; const_merges = 0; lemmas = 0; conflicts = 0 }
+  {
+    sat_calls = 0;
+    cex = 0;
+    unknowns = 0;
+    merges = 0;
+    const_merges = 0;
+    lemmas = 0;
+    conflicts = 0;
+    reused = 0;
+  }
 
 (* Ambient-registry handles, resolved once per engine. *)
 type obs_handles = {
@@ -38,6 +59,7 @@ type obs_handles = {
   o_merges : Obs.Counter.t;
   o_const_merges : Obs.Counter.t;
   o_sim_refinements : Obs.Counter.t;
+  o_reuse : Obs.Counter.t;
 }
 
 let obs_handles () =
@@ -52,6 +74,7 @@ let obs_handles () =
     o_merges = c "sweep.merges";
     o_const_merges = c "sweep.const_merges";
     o_sim_refinements = c "sweep.sim_refinements";
+    o_reuse = c "sweep.incremental_reuse";
   }
 
 type outcome =
@@ -77,6 +100,9 @@ type engine = {
   simc : Simclass.t;
   merged : (int * bool) option array;
   query : lits:Lit.t list -> assumptions:Lit.t list -> query_result;
+  try_reuse : lits:Lit.t list -> assumptions:Lit.t list -> query_result option;
+      (* settle a query from facts the engine already holds, without a
+         SAT call; [None] means a real query is needed *)
   register_lemma : Clause.t -> R.id -> unit;
 }
 
@@ -260,6 +286,7 @@ let make_fresh_engine g cfg ~formula =
       simc = Simclass.create g ~words:cfg.words ~seed:cfg.seed;
       merged = Array.make (Aig.num_nodes g) None;
       query = (fun ~lits ~assumptions -> fresh_query g cfg st stats ~lits ~assumptions);
+      try_reuse = (fun ~lits:_ ~assumptions:_ -> None);
       register_lemma = (fun clause root -> fresh_register o st stats clause root);
     }
   in
@@ -306,6 +333,21 @@ let make_incremental_engine g cfg ~formula =
     account ();
     result
   in
+  (* Facts fixed at the solver's root level — constant nodes discovered
+     by earlier merges and their propagation closure — settle a query
+     without searching: refuting assumption [a] only needs the unit
+     [~a], and [Solver.derive_fixed] builds its derivation straight
+     from the reason chain already on the trail.  This is knowledge the
+     per-pair engine rediscovers from scratch on every query.  The cone
+     is loaded and root propagation run first, so units implied by
+     earlier lemmas through this query's own cone count too. *)
+  let try_reuse ~lits ~assumptions =
+    add_cone lits;
+    Solver.propagate_root solver;
+    match List.find_map (fun a -> Solver.derive_fixed solver (Lit.neg a)) assumptions with
+    | Some (clause, pid) -> Some (Refuted (pid, clause))
+    | None -> None
+  in
   let register_lemma clause pid =
     (* The lemma becomes an ordinary solver clause backed by its
        derivation: later queries stitch through it for free. *)
@@ -322,6 +364,7 @@ let make_incremental_engine g cfg ~formula =
       simc = Simclass.create g ~words:cfg.words ~seed:cfg.seed;
       merged = Array.make (Aig.num_nodes g) None;
       query;
+      try_reuse;
       register_lemma;
     }
   in
@@ -346,23 +389,31 @@ let make_incremental_engine g cfg ~formula =
 
 let make_engine g cfg ~formula =
   let engine, finalize =
-    if cfg.incremental then make_incremental_engine g cfg ~formula
-    else make_fresh_engine g cfg ~formula
+    match cfg.mode with
+    | Incremental -> make_incremental_engine g cfg ~formula
+    | Perpair -> make_fresh_engine g cfg ~formula
   in
   (* Wrap the engine-specific callbacks so every mode records the same
-     observability counters at the same points. *)
+     observability counters at the same points.  A query settled from
+     already-held facts counts only as a reuse, never as a SAT call. *)
   let o = engine.obs in
   let query ~lits ~assumptions =
-    Obs.Counter.incr o.o_sat_calls;
-    let r = engine.query ~lits ~assumptions in
-    (match r with
-    | Refuted _ -> Obs.Counter.incr o.o_refuted
-    | Countermodel _ ->
-      Obs.Counter.incr o.o_cex;
-      (* Every sweeping countermodel becomes a refinement pattern. *)
-      Obs.Counter.incr o.o_sim_refinements
-    | Budget -> Obs.Counter.incr o.o_budget);
-    r
+    match engine.try_reuse ~lits ~assumptions with
+    | Some r ->
+      engine.stats.reused <- engine.stats.reused + 1;
+      Obs.Counter.incr o.o_reuse;
+      r
+    | None ->
+      Obs.Counter.incr o.o_sat_calls;
+      let r = engine.query ~lits ~assumptions in
+      (match r with
+      | Refuted _ -> Obs.Counter.incr o.o_refuted
+      | Countermodel _ ->
+        Obs.Counter.incr o.o_cex;
+        (* Every sweeping countermodel becomes a refinement pattern. *)
+        Obs.Counter.incr o.o_sim_refinements
+      | Budget -> Obs.Counter.incr o.o_budget);
+      r
   in
   let finalize () =
     Obs.Counter.incr o.o_sat_calls;

@@ -10,20 +10,37 @@
     resolution proof of the miter CNF whose leaves are exactly original
     clauses. *)
 
+(** Engine mode — how SAT queries map onto solver instances. *)
+type mode =
+  | Perpair
+      (** a fresh throwaway solver per query over the candidates' fanin
+          cones, assumption-unit clauses, each refutation
+          {!Proof.Lift}ed and imported into a global store (the flow as
+          described in the paper) *)
+  | Incremental
+      (** one persistent solver per instance whose proof store {e is}
+          the global proof — cone clauses loaded once on demand,
+          per-query activation literals passed as native solver
+          assumptions, learned clauses and variable activity carried
+          across queries, lemmas installed once as derived clauses
+          referenced by their global chain id; no lifting or importing
+          at all.  Queries already settled by root-level facts are
+          answered without a SAT call (counted by
+          [sweep.incremental_reuse]).  Both modes produce the same kind
+          of checkable certificate. *)
+
+val mode_to_string : mode -> string
+
+(** Inverse of {!mode_to_string}; also accepts the long spellings
+    ["per-pair"] and ["incremental"]. *)
+val mode_of_string : string -> mode option
+
 type config = {
   words : int;  (** random simulation words (64 patterns each) *)
   seed : int;  (** simulation seed *)
   max_conflicts : int option;  (** per-query conflict budget *)
   lemma_reuse : bool;  (** feed proved lemmas to later SAT calls *)
-  incremental : bool;
-      (** engine mode.  [false]: a fresh solver per query over the
-          candidates' fanin cones, assumption-unit clauses, proof
-          {!Proof.Lift}ed and imported into a global store (the flow as
-          described in the paper).  [true]: one persistent solver whose
-          proof store {e is} the global proof — cone clauses added
-          on demand, native solver assumptions, lemmas installed as
-          derived clauses; no lifting or importing at all.  Both
-          produce the same kind of checkable certificate. *)
+  mode : mode;  (** see {!mode}; default {!Perpair} *)
 }
 
 val default_config : config
@@ -36,6 +53,9 @@ type stats = {
   mutable const_merges : int;  (** nodes proved constant *)
   mutable lemmas : int;  (** lemma clauses derived *)
   mutable conflicts : int;  (** total solver conflicts *)
+  mutable reused : int;
+      (** queries settled from root-level facts without a SAT call
+          (incremental mode only) *)
 }
 
 type outcome =

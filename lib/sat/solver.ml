@@ -55,6 +55,9 @@ type t = {
   o_restarts : Obs.Counter.t;
   o_learned_size : Obs.Histogram.t;
   o_retired : Obs.Counter.t;
+  o_carried : Obs.Counter.t;
+  unit_pids : (int, R.id) Hashtbl.t;
+      (* var -> derivation of its root-level unit; see [unit_pid] *)
 }
 
 let dummy_clause = { lits = [||]; pid = -1; learned = false; act = 0.0; deleted = false }
@@ -97,6 +100,8 @@ let create ?proof ?(reduce_base = 4000) () =
     o_restarts = Obs.Registry.counter reg "sat.restarts";
     o_learned_size = Obs.Registry.histogram reg "sat.learned_clause_size";
     o_retired = Obs.Registry.counter reg "sat.retired_chains";
+    o_carried = Obs.Registry.counter reg "sat.clauses_carried";
+    unit_pids = Hashtbl.create 64;
   }
 
 let proof s = s.proof
@@ -586,7 +591,19 @@ let pick_branch s =
 let analyze_final s l =
   let v0 = Lit.var l in
   let r0 = s.reason.(v0) in
-  if r0 < 0 then invalid_arg "Solver.solve: contradictory assumptions";
+  if r0 < 0 then
+    (* [~l] was itself enqueued as an assumption: the assumption list
+       contains a complementary pair.  No clause over the negated
+       assumptions is derivable from the clauses alone (it would be the
+       tautology [l | ~l], which resolution cannot produce and
+       {!Clause.of_list} rejects), so answer with the trivial unit
+       [~l] recorded as an assumption leaf: given the earlier
+       assumption [~l], the later assumption [l] fails.  The sweeping
+       engines never issue same-variable assumption pairs, so the leaf
+       never reaches a certificate. *)
+    let clause = Clause.singleton (Lit.neg l) in
+    (clause, R.add_leaf ~assumption:true s.proof clause)
+  else begin
   let cr0 = clause_ref s r0 in
   let chain_ants = ref [ cr0.pid ] and chain_pivots = ref [] in
   let pending = Array.make s.nvars false in
@@ -615,15 +632,92 @@ let analyze_final s l =
     else R.add_chain s.proof ~clause ~antecedents ~pivots
   in
   (clause, pid)
+  end
+
+(* Truth value of [l] under the root-level (level-0) assignment only:
+   1 true, 0 false, -1 not fixed at the root.  Root facts accumulate
+   across incremental [solve] calls and are never undone. *)
+let root_lit_value s l =
+  let v = Lit.var l in
+  if v >= s.nvars then -1
+  else begin
+    let a = s.assign.(v) in
+    if a < 0 || s.level.(v) <> 0 then -1 else a lxor (l land 1)
+  end
+
+(* Derivation of the unit clause for the root-level assignment of [v],
+   built by resolving [v]'s reason clause against the unit derivations
+   of its other literals (all assigned earlier at level 0, so the
+   recursion follows the trail backwards and terminates).  Every
+   resolution step removes exactly one literal from the reason clause,
+   so no intermediate resolvent can be tautological.  Memoized per
+   variable: root facts are permanent and reason clauses of root
+   assignments are locked, so the chains stay valid for the lifetime of
+   the solver. *)
+let rec unit_pid s v =
+  match Hashtbl.find_opt s.unit_pids v with
+  | Some pid -> pid
+  | None ->
+    let cr = clause_ref s s.reason.(v) in
+    let t = Lit.make v ~neg:(s.assign.(v) = 0) in
+    let pid =
+      if Array.length cr.lits = 1 then cr.pid
+      else begin
+        let ants = ref [] and pivots = ref [] in
+        Array.iter
+          (fun q ->
+            let w = Lit.var q in
+            if w <> v then begin
+              ants := unit_pid s w :: !ants;
+              pivots := w :: !pivots
+            end)
+          cr.lits;
+        R.add_chain s.proof
+          ~clause:(Clause.singleton t)
+          ~antecedents:(Array.of_list (cr.pid :: List.rev !ants))
+          ~pivots:(Array.of_list (List.rev !pivots))
+      end
+    in
+    Hashtbl.replace s.unit_pids v pid;
+    pid
+
+let derive_fixed s l =
+  if root_lit_value s l <> 1 then None
+  else begin
+    let v = Lit.var l in
+    (* Root-level assignments always carry a clause reason (units are
+       enqueued with their arena index, propagations record theirs);
+       the guard is purely defensive. *)
+    if s.reason.(v) < 0 then None else Some (Clause.singleton l, unit_pid s v)
+  end
 
 let model s =
   Array.init s.nvars (fun v -> s.assign.(v) = 1)
+
+(* Run unit propagation to fixpoint at the root level, so facts implied
+   by recently added clauses become visible to [root_lit_value] and
+   [derive_fixed] without a full [solve].  A root-level conflict makes
+   the solver permanently unsatisfiable, exactly as in [solve]. *)
+let propagate_root s =
+  if s.unsat_root = None then begin
+    cancel_until s 0;
+    let confl = propagate s in
+    if confl >= 0 then begin
+      let cr = clause_ref s confl in
+      let root = derive_empty_at_level0 s (Clause.of_array cr.lits) cr.pid in
+      set_unsat s root
+    end
+  end
 
 let solve ?max_conflicts ?(assumptions = []) s =
   match s.unsat_root with
   | Some root -> Unsat root
   | None ->
     cancel_until s 0;
+    (* Learned clauses still live from previous [solve] calls — the
+       carried-knowledge payoff of incremental use (0 on every call for
+       a throwaway per-query solver). *)
+    Obs.Counter.add s.o_carried s.live_learned;
     let assumptions = Array.of_list assumptions in
     Array.iter (fun l -> ensure_vars s (Lit.var l + 1)) assumptions;
     let budget = match max_conflicts with Some b -> b | None -> max_int in

@@ -70,10 +70,40 @@ val add_formula : t -> Cnf.Formula.t -> unit
     literals.  When the assumptions are inconsistent with the clauses,
     the result is [Unsat_assuming] carrying a {e proved} clause over
     the negated assumptions (the equivalence-lemma mechanism of the
-    sweeping engine).  [max_conflicts] bounds the search ([Unknown]
-    when exceeded); default is unbounded.
-    @raise Invalid_argument if the assumption list is self-contradictory. *)
+    sweeping engine).  A self-contradictory assumption list (both
+    polarities of one variable) also answers [Unsat_assuming], with the
+    trivial final clause [~l] for the later of the clashing pair; since
+    no such clause is derivable from the clauses alone, its [pid] is an
+    assumption leaf and must not be reused as a derived lemma.
+    [max_conflicts] bounds the search ([Unknown] when exceeded);
+    default is unbounded.
+
+    Each call adds the number of live learned clauses carried over from
+    previous calls to the ambient counter [sat.clauses_carried]. *)
 val solve : ?max_conflicts:int -> ?assumptions:Aig.Lit.t list -> t -> result
+
+(** {1 Root-level facts}
+
+    Facts fixed at decision level 0 accumulate across incremental
+    [solve] calls; an incremental client can often settle a query from
+    them without searching. *)
+
+(** Run unit propagation to fixpoint at the root level, making facts
+    implied by recently added clauses visible to {!root_lit_value} and
+    {!derive_fixed} without a full [solve].  A root-level conflict
+    makes the solver permanently unsatisfiable (subsequent [solve]
+    calls answer [Unsat]). *)
+val propagate_root : t -> unit
+
+(** Truth value of [l] under the root-level assignment only: [1] true,
+    [0] false, [-1] not fixed at the root. *)
+val root_lit_value : t -> Aig.Lit.t -> int
+
+(** When [l] is true at the root level, return the unit clause [(l)]
+    together with a derivation of it in [proof t], built by resolving
+    the reason chain of [l]'s assignment (memoized per variable).
+    [None] when [l] is not a root-level fact. *)
+val derive_fixed : t -> Aig.Lit.t -> (Cnf.Clause.t * Proof.Resolution.id) option
 
 (** {1 Statistics} *)
 

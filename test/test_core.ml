@@ -241,7 +241,7 @@ let extra_suites =
 
 (* --- incremental engine mode --- *)
 
-let incremental_cfg = { Sweep.default_config with Sweep.incremental = true }
+let incremental_cfg = { Sweep.default_config with Sweep.mode = Sweep.Incremental }
 
 let test_incremental_suite () =
   List.iter

@@ -96,11 +96,19 @@ let test_solver_duplicate_and_subsumed_clauses () =
   | _ -> Alcotest.fail "expected SAT"
 
 let test_solver_contradictory_assumptions () =
+  (* A self-contradictory assumption list is UNSAT-under-assumptions,
+     not a usage error: the result carries the trivial final clause
+     [~l] for the later of the clashing pair, and the solver stays
+     usable. *)
   let s = Solver.create () in
   Solver.add_clause s (Clause.of_list [ lit 0; lit 1 ]);
-  match Solver.solve ~assumptions:[ lit 2; nlit 2 ] s with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "contradictory assumptions accepted"
+  (match Solver.solve ~assumptions:[ lit 2; nlit 2 ] s with
+  | Solver.Unsat_assuming { clause; pid = _ } ->
+    Alcotest.(check bool) "final clause is (x2)" true (Clause.equal clause (Clause.singleton (lit 2)))
+  | _ -> Alcotest.fail "expected Unsat_assuming on contradictory assumptions");
+  match Solver.solve s with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "solver unusable after contradictory assumptions"
 
 let test_solver_assumption_on_fresh_var () =
   (* Assuming a variable the clauses never mention must be SAT and

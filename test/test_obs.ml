@@ -328,12 +328,14 @@ let test_golden_adder () =
       ("proof.leaves", 1678);
       ("proof.lift_nodes", 155);
       ("proof.lifts", 17);
+      ("sat.clauses_carried", 0);
       ("sat.conflicts", 21);
       ("sat.decisions", 30);
       ("sat.propagations", 155);
       ("sat.restarts", 0);
       ("sat.retired_chains", 0);
       ("sweep.const_merges", 7);
+      ("sweep.incremental_reuse", 0);
       ("sweep.lemmas", 17);
       ("sweep.merges", 5);
       ("sweep.sat_budget", 0);
@@ -353,12 +355,14 @@ let test_golden_rewritten_datapath () =
       ("proof.leaves", 23697);
       ("proof.lift_nodes", 1343);
       ("proof.lifts", 199);
+      ("sat.clauses_carried", 0);
       ("sat.conflicts", 199);
       ("sat.decisions", 0);
       ("sat.propagations", 1007);
       ("sat.restarts", 0);
       ("sat.retired_chains", 0);
       ("sweep.const_merges", 5);
+      ("sweep.incremental_reuse", 0);
       ("sweep.lemmas", 199);
       ("sweep.merges", 97);
       ("sweep.sat_budget", 0);
@@ -378,12 +382,14 @@ let test_golden_constant_zero_miter () =
     [
       ("proof.chains", 2);
       ("proof.leaves", 97);
+      ("sat.clauses_carried", 0);
       ("sat.conflicts", 0);
       ("sat.decisions", 0);
       ("sat.propagations", 0);
       ("sat.restarts", 0);
       ("sat.retired_chains", 0);
       ("sweep.const_merges", 0);
+      ("sweep.incremental_reuse", 0);
       ("sweep.lemmas", 0);
       ("sweep.merges", 0);
       ("sweep.sat_budget", 0);
@@ -394,6 +400,43 @@ let test_golden_constant_zero_miter () =
     ]
     (g ()) (g ())
 
+let test_golden_incremental_adder () =
+  (* Same fixture as [test_golden_adder], incremental mode: no lifts or
+     imports at all (the solver's proof store is the certificate), far
+     fewer leaves, three queries settled from root-level facts instead
+     of SAT calls, and learned clauses carried across calls. *)
+  let case = suite_case "add4-rc-cla" in
+  let reg = Obs.Registry.create () in
+  let (_ : Cec.report) =
+    Obs.with_ambient reg (fun () ->
+        Cec.check
+          (Cec.Sweeping { Sweep.default_config with Sweep.mode = Sweep.Incremental })
+          (case.Circuits.Suite.golden ())
+          (case.Circuits.Suite.revised ()))
+  in
+  Alcotest.(check (list (pair string int)))
+    "incremental adder pair"
+    [
+      ("proof.chains", 23);
+      ("proof.leaves", 128);
+      ("sat.clauses_carried", 96);
+      ("sat.conflicts", 14);
+      ("sat.decisions", 4);
+      ("sat.propagations", 140);
+      ("sat.restarts", 0);
+      ("sat.retired_chains", 0);
+      ("sweep.const_merges", 7);
+      ("sweep.incremental_reuse", 3);
+      ("sweep.lemmas", 17);
+      ("sweep.merges", 5);
+      ("sweep.sat_budget", 0);
+      ("sweep.sat_calls", 15);
+      ("sweep.sat_cex", 0);
+      ("sweep.sat_refuted", 15);
+      ("sweep.sim_refinements", 0);
+    ]
+    (Obs.Registry.counters reg)
+
 let test_golden_falsifiable () =
   let golden = Circuits.Adder.ripple_carry 3 in
   let revised = Circuits.Adder.ripple_carry 3 in
@@ -402,12 +445,14 @@ let test_golden_falsifiable () =
     [
       ("proof.chains", 0);
       ("proof.leaves", 67);
+      ("sat.clauses_carried", 0);
       ("sat.conflicts", 0);
       ("sat.decisions", 5);
       ("sat.propagations", 29);
       ("sat.restarts", 0);
       ("sat.retired_chains", 0);
       ("sweep.const_merges", 0);
+      ("sweep.incremental_reuse", 0);
       ("sweep.lemmas", 0);
       ("sweep.merges", 0);
       ("sweep.sat_budget", 0);
@@ -420,14 +465,19 @@ let test_golden_falsifiable () =
 
 (* --- determinism across worker counts --- *)
 
-let counters_with_domains n =
+let counters_with_domains ?(mode = Sweep.Perpair) n =
   let case = suite_case "add4-rc-cla" in
   let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
   let reg = Obs.Registry.create () in
   let report =
     Obs.with_ambient reg (fun () ->
         Parallel.check
-          ~config:{ Parallel.default_config with Parallel.num_domains = n }
+          ~config:
+            {
+              Parallel.default_config with
+              Parallel.num_domains = n;
+              engine = Cec.Sweeping { Sweep.default_config with Sweep.mode };
+            }
           golden revised)
   in
   (match report.Parallel.verdict with
@@ -441,6 +491,43 @@ let test_jobs_independence () =
   let c4' = counters_with_domains 4 in
   Alcotest.(check string) "1 domain = 4 domains" c1 c4;
   Alcotest.(check string) "4 domains repeatable" c4 c4'
+
+let test_incremental_jobs_independence () =
+  (* One persistent solver per partition: partitions are independent,
+     so the aggregate counters still cannot depend on how partitions
+     are spread over domains. *)
+  let c1 = counters_with_domains ~mode:Sweep.Incremental 1 in
+  let c4 = counters_with_domains ~mode:Sweep.Incremental 4 in
+  let c4' = counters_with_domains ~mode:Sweep.Incremental 4 in
+  Alcotest.(check string) "1 domain = 4 domains (incr)" c1 c4;
+  Alcotest.(check string) "4 domains repeatable (incr)" c4 c4'
+
+let test_incremental_fewer_sat_calls () =
+  (* The headline effect on the multiplier fixture: root-level fact
+     reuse settles some queries without search, so the incremental
+     engine issues strictly fewer SAT calls than per-pair. *)
+  let case = suite_case "mul3-arr-sa" in
+  let counters mode =
+    let reg = Obs.Registry.create () in
+    let (_ : Cec.report) =
+      Obs.with_ambient reg (fun () ->
+          Cec.check
+            (Cec.Sweeping { Sweep.default_config with Sweep.mode })
+            (case.Circuits.Suite.golden ())
+            (case.Circuits.Suite.revised ()))
+    in
+    Obs.Registry.counters reg
+  in
+  let count name cs = try List.assoc name cs with Not_found -> 0 in
+  let perpair = counters Sweep.Perpair and incr = counters Sweep.Incremental in
+  let calls_pp = count "sweep.sat_calls" perpair and calls_incr = count "sweep.sat_calls" incr in
+  if calls_incr >= calls_pp then
+    Alcotest.failf "expected fewer SAT calls: incr=%d perpair=%d" calls_incr calls_pp;
+  Alcotest.(check bool) "reuse counter fired" true (count "sweep.incremental_reuse" incr > 0);
+  Alcotest.(check int) "reuse accounts for the gap" calls_pp
+    (calls_incr + count "sweep.incremental_reuse" incr);
+  Alcotest.(check bool) "clauses carried across queries" true
+    (count "sat.clauses_carried" incr > 0)
 
 (* --- qcheck properties --- *)
 
@@ -603,8 +690,13 @@ let suites =
         Alcotest.test_case "adder pair" `Quick test_golden_adder;
         Alcotest.test_case "rewritten datapath" `Quick test_golden_rewritten_datapath;
         Alcotest.test_case "constant-0 miter" `Quick test_golden_constant_zero_miter;
+        Alcotest.test_case "incremental adder pair" `Quick test_golden_incremental_adder;
         Alcotest.test_case "falsifiable pair" `Quick test_golden_falsifiable;
         Alcotest.test_case "aggregate counters independent of domains" `Quick
           test_jobs_independence;
+        Alcotest.test_case "incremental counters independent of domains" `Quick
+          test_incremental_jobs_independence;
+        Alcotest.test_case "incremental drops below per-pair SAT calls" `Quick
+          test_incremental_fewer_sat_calls;
       ] );
   ]
