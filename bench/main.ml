@@ -1063,6 +1063,339 @@ let p6 () =
       output_string oc (Obs.Export.stats_json merged));
   Printf.printf "wrote BENCH_p6.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
 
+(* --- P7: fleet load generator (sharding, zipf skew, failover) --- *)
+
+(* Closed-loop load generation against an in-process fleet: K TCP
+   shards behind the router, a pool of distinct pairs whose popularity
+   is zipf-skewed (a few hot keys, a long tail — the
+   millions-of-users shape), a cold warm-up pass and a measured warm
+   phase.  Shard service time is dominated by the [peer.slow] fault
+   (50ms stall per accepted connection), which models an I/O-bound
+   shard: on any core count the fleet's throughput is then set by how
+   well the router spreads connections over shards, which is exactly
+   the property under test — warm-hit CPU cost would make the numbers
+   core-count-dependent instead.  Wrong verdicts abort the benchmark.
+   Results (p50/p99/p999, saturation throughput for 1/2/4 shards, and
+   a kill-one-shard failover scenario) go to BENCH_p7.json. *)
+
+let p7_with_temp_dir prefix f =
+  let dir = Filename.temp_file prefix "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () -> f dir
+
+let p7_zipf_cdf n s =
+  let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) s) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let acc = ref 0.0 in
+  Array.map
+    (fun w ->
+      acc := !acc +. (w /. total);
+      !acc)
+    weights
+
+let p7_sample rng cdf =
+  let u = Support.Rng.float rng in
+  let n = Array.length cdf in
+  let rec go i = if i >= n - 1 || cdf.(i) >= u then i else go (i + 1) in
+  go 0
+
+(* [num] pairs with distinct structural keys; every fourth pair is
+   inequivalent so verdict correctness is actually observable. *)
+let p7_pairs dir num =
+  List.init num (fun i ->
+      let width = 4 + i in
+      let golden = Circuits.Datapath.parity width in
+      let revised = Circuits.Rewrite.double_negate (Circuits.Datapath.parity width) in
+      let expected =
+        if i mod 4 = 3 then begin
+          Aig.set_output revised 0 (Aig.Lit.neg (Aig.output revised 0));
+          "inequivalent"
+        end
+        else "equivalent"
+      in
+      let g = Filename.concat dir (Printf.sprintf "p7-g%d.aig" i) in
+      let r = Filename.concat dir (Printf.sprintf "p7-r%d.aig" i) in
+      Aig.Aiger.write_file g golden;
+      Aig.Aiger.write_file r revised;
+      (Printf.sprintf "check %s %s" g r, expected))
+  |> Array.of_list
+
+let p7_await_addr cell what =
+  let rec go n =
+    if n = 0 then failwith ("p7: no address from " ^ what)
+    else
+      match Atomic.get cell with
+      | Some addr -> addr
+      | None ->
+        Unix.sleepf 0.02;
+        go (n - 1)
+  in
+  go 500
+
+let p7_start_shard dir id =
+  let cell = Atomic.make None in
+  let cfg =
+    {
+      (Service.Server.default_config ~socket_path:"unused"
+         ~store_dir:(Filename.concat dir ("store-" ^ id)))
+      with
+      Service.Server.listen = [ Service.Addr.Tcp ("127.0.0.1", 0) ];
+      log = false;
+      on_listen = (fun addrs -> Atomic.set cell (Some (List.hd addrs)));
+    }
+  in
+  let domain = Domain.spawn (fun () -> Service.Server.run cfg) in
+  (id, p7_await_addr cell ("shard " ^ id), domain)
+
+let p7_start_router ~shards ~replicas =
+  let cell = Atomic.make None in
+  let cfg =
+    {
+      (Fleet.Router.default_config
+         ~listen:(Service.Addr.Tcp ("127.0.0.1", 0))
+         ~shards:(List.map (fun (id, addr, _) -> { Fleet.Router.id; addr }) shards))
+      with
+      Fleet.Router.replicas;
+      workers = 8;
+      probe_interval_ms = 200.;
+      connect_timeout_ms = 2000.;
+      log = false;
+      on_listen = (fun addr -> Atomic.set cell (Some addr));
+    }
+  in
+  let domain = Domain.spawn (fun () -> Fleet.Router.run cfg) in
+  (p7_await_addr cell "router", domain)
+
+type p7_outcome = {
+  latencies : float array;  (* ms, one per answered request *)
+  answered : int;
+  no_response : int;
+  degraded : int;
+  typed_errors : int;
+  wrong : int;
+}
+
+(* [clients] closed-loop generators share one request counter; each
+   draws keys from its own seeded zipf stream. *)
+let p7_closed_loop ~router ~pairs ~cdf ~clients ~total =
+  let client_cfg =
+    {
+      Service.Client.default_config with
+      Service.Client.retries = 3;
+      base_delay_ms = 5.0;
+      connect_timeout_ms = Some 2000.;
+    }
+  in
+  let next = Atomic.make 0 in
+  let run_client c =
+    let rng = Support.Rng.create (7701 + c) in
+    let lat = ref [] and answered = ref 0 and no_response = ref 0 in
+    let degraded = ref 0 and typed = ref 0 and wrong = ref 0 in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < total then begin
+        let line, expected = pairs.(p7_sample rng cdf) in
+        let t0 = Unix.gettimeofday () in
+        (match Service.Client.request_to ~config:client_cfg [ router ] line with
+        | Error _ -> incr no_response
+        | Ok response ->
+          incr answered;
+          lat := (1000.0 *. (Unix.gettimeofday () -. t0)) :: !lat;
+          (match Service.Protocol.field "status" response with
+          | Some s when s = expected -> ()
+          | Some ("uncertified" | "timeout") -> incr degraded
+          | Some _ -> incr wrong
+          | None -> incr typed (* typed error: worker_crashed, overloaded, ... *)));
+        loop ()
+      end
+    in
+    loop ();
+    (!lat, !answered, !no_response, !degraded, !typed, !wrong)
+  in
+  let domains = List.init clients (fun c -> Domain.spawn (fun () -> run_client c)) in
+  let parts = List.map Domain.join domains in
+  let latencies =
+    Array.of_list (List.concat_map (fun (l, _, _, _, _, _) -> l) parts)
+  in
+  Array.sort compare latencies;
+  let sum f = List.fold_left (fun acc part -> acc + f part) 0 parts in
+  {
+    latencies;
+    answered = sum (fun (_, a, _, _, _, _) -> a);
+    no_response = sum (fun (_, _, n, _, _, _) -> n);
+    degraded = sum (fun (_, _, _, d, _, _) -> d);
+    typed_errors = sum (fun (_, _, _, _, t, _) -> t);
+    wrong = sum (fun (_, _, _, _, _, w) -> w);
+  }
+
+let p7_pct latencies p =
+  let n = Array.length latencies in
+  if n = 0 then 0.0 else latencies.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let p7 () =
+  let num_keys = 16 and zipf_s = 1.1 and clients = 8 and warm_requests = 150 in
+  let merged = Obs.Registry.create () in
+  let gauge name v = Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p7." ^ name)) v in
+  let cdf = p7_zipf_cdf num_keys zipf_s in
+  (* The I/O-bound-shard model: every shard connection stalls 50ms.
+     Deterministic (rate 1.0), and installed only around the fleet
+     phases. *)
+  (match Fault.parse "peer.slow:1.0@seed=7" with
+  | Ok spec -> Fault.install spec
+  | Error e -> failwith ("p7: bad fault spec: " ^ e));
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let run_fleet num_shards =
+    p7_with_temp_dir "cecd-p7" @@ fun dir ->
+    let pairs = p7_pairs dir num_keys in
+    let shards =
+      List.init num_shards (fun i -> p7_start_shard dir (Printf.sprintf "s%d" i))
+    in
+    let router, router_domain = p7_start_router ~shards ~replicas:1 in
+    (* Cold pass: populate the stores (not measured). *)
+    Array.iter
+      (fun (line, expected) ->
+        match Service.Server.request_addr router line with
+        | Ok response when Service.Protocol.field "status" response = Some expected -> ()
+        | Ok response -> failwith ("p7: cold pass answered " ^ response)
+        | Error msg -> failwith ("p7: cold pass failed: " ^ msg))
+      pairs;
+    (* Warm phase, measured: closed-loop zipf traffic. *)
+    let t0 = Unix.gettimeofday () in
+    let o = p7_closed_loop ~router ~pairs ~cdf ~clients ~total:warm_requests in
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Service.Server.request_addr router "shutdown");
+    ignore (Domain.join router_domain);
+    List.iter
+      (fun (_, addr, domain) ->
+        ignore (Service.Server.request_addr addr "shutdown");
+        ignore (Domain.join domain))
+      shards;
+    if o.wrong > 0 then failwith "p7: wrong verdict under zipf load";
+    let rps = float_of_int o.answered /. wall in
+    let tag name v = gauge (Printf.sprintf "shards%d_%s" num_shards name) v in
+    tag "p50_ms" (p7_pct o.latencies 0.50);
+    tag "p99_ms" (p7_pct o.latencies 0.99);
+    tag "p999_ms" (p7_pct o.latencies 0.999);
+    tag "throughput_rps" rps;
+    tag "no_response" (float_of_int o.no_response);
+    ( Printf.sprintf "%d" num_shards,
+      o,
+      rps,
+      [
+        string_of_int num_shards;
+        string_of_int o.answered;
+        string_of_int (o.no_response + o.typed_errors);
+        Tables.fmt_ms (p7_pct o.latencies 0.50 /. 1000.0);
+        Tables.fmt_ms (p7_pct o.latencies 0.99 /. 1000.0);
+        Tables.fmt_ms (p7_pct o.latencies 0.999 /. 1000.0);
+        Printf.sprintf "%.1f" rps;
+      ] )
+  in
+  let scaling = List.map run_fleet [ 1; 2; 4 ] in
+  let rps_of n =
+    List.find_map (fun (tag, _, rps, _) -> if tag = string_of_int n then Some rps else None) scaling
+    |> Option.get
+  in
+  let speedup = rps_of 4 /. rps_of 1 in
+  gauge "speedup_4v1" speedup;
+
+  (* Failover: 3 shards, replicas = 2, worker crashes injected, one
+     shard killed mid-run.  Every request must still get a response
+     and no verdict may be wrong. *)
+  Fault.disable ();
+  (match Fault.parse "peer.slow:1.0,worker.crash:0.02@seed=7" with
+  | Ok spec -> Fault.install spec
+  | Error e -> failwith ("p7: bad fault spec: " ^ e));
+  let failover_row =
+    p7_with_temp_dir "cecd-p7f" @@ fun dir ->
+    let pairs = p7_pairs dir num_keys in
+    let shards = List.init 3 (fun i -> p7_start_shard dir (Printf.sprintf "s%d" i)) in
+    let router, router_domain = p7_start_router ~shards ~replicas:2 in
+    (* Cold pass under worker.crash: retry until every pair has a
+       definite stored verdict, so replication can warm all keys. *)
+    Array.iter
+      (fun (line, expected) ->
+        let rec retry n =
+          match Service.Server.request_addr router line with
+          | Ok r when Service.Protocol.field "status" r = Some expected -> ()
+          | _ when n > 0 -> retry (n - 1)
+          | _ -> failwith "p7: failover cold pass did not converge"
+        in
+        retry 10)
+      pairs;
+    (* Let the background replicator warm the standby replicas before
+       the shard loss, so failover hits are warm. *)
+    let rec wait_replicated n =
+      if n > 0 then begin
+        match Service.Server.request_addr router "stats" with
+        | Ok line
+          when (match Service.Protocol.field "replicated" line with
+               | Some v -> int_of_string v >= num_keys
+               | None -> false) ->
+          ()
+        | _ ->
+          Unix.sleepf 0.1;
+          wait_replicated (n - 1)
+      end
+    in
+    wait_replicated 100;
+    let total = 120 in
+    let victim_id, victim_addr, victim_domain = List.hd shards in
+    let t0 = Unix.gettimeofday () in
+    let loadgen =
+      Domain.spawn (fun () -> p7_closed_loop ~router ~pairs ~cdf ~clients:4 ~total)
+    in
+    (* Kill one shard roughly mid-run (the load takes ~2-3s). *)
+    Unix.sleepf 1.0;
+    ignore (Service.Server.request_addr victim_addr "shutdown");
+    ignore (Domain.join victim_domain);
+    let o = Domain.join loadgen in
+    let wall = Unix.gettimeofday () -. t0 in
+    ignore (Service.Server.request_addr router "shutdown");
+    let final = Domain.join router_domain in
+    List.iter
+      (fun (id, addr, domain) ->
+        if id <> victim_id then begin
+          ignore (Service.Server.request_addr addr "shutdown");
+          ignore (Domain.join domain)
+        end)
+      shards;
+    if o.wrong > 0 then failwith "p7: wrong verdict during failover";
+    let failovers =
+      Obs.Counter.get (Obs.Registry.counter final "fleet.failovers")
+    in
+    let response_rate =
+      100.0 *. float_of_int o.answered /. float_of_int (o.answered + o.no_response)
+    in
+    gauge "failover_response_rate" response_rate;
+    gauge "failover_wrong" (float_of_int o.wrong);
+    gauge "failover_typed_errors" (float_of_int o.typed_errors);
+    gauge "failover_recorded" (float_of_int failovers);
+    gauge "failover_p99_ms" (p7_pct o.latencies 0.99);
+    [
+      "3, kill 1";
+      string_of_int o.answered;
+      string_of_int (o.no_response + o.typed_errors);
+      Tables.fmt_ms (p7_pct o.latencies 0.50 /. 1000.0);
+      Tables.fmt_ms (p7_pct o.latencies 0.99 /. 1000.0);
+      Tables.fmt_ms (p7_pct o.latencies 0.999 /. 1000.0);
+      Printf.sprintf "%.1f" (float_of_int o.answered /. wall);
+    ]
+  in
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "P7: fleet load generator (closed loop, %d clients, %d warm requests, zipf s=%.1f over \
+          %d keys, 50ms I/O-bound shards; saturation speedup 4v1 = %.2fx; failover: replicas=2, \
+          worker.crash 2%%, one shard killed mid-run)"
+         clients warm_requests zipf_s num_keys speedup)
+    ~columns:[ "shards"; "answered"; "no-resp/typed"; "p50"; "p99"; "p999"; "rps" ]
+    ~rows:(List.map (fun (_, _, _, row) -> row) scaling @ [ failover_row ]);
+  Out_channel.with_open_text "BENCH_p7.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p7.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -1164,6 +1497,7 @@ let experiments =
     ("p4", p4);
     ("p5", p5);
     ("p6", p6);
+    ("p7", p7);
   ]
 
 let () =
@@ -1180,7 +1514,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p6, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p7, bechamel)\n" name;
           exit 2
         end)
     selected

@@ -7,10 +7,20 @@
      dimacs      export a single-output miter's CNF in DIMACS
      cec         check two AIGER files for equivalence (with proofs)
      check-proof validate a certificate (ASCII trace or CECB binary)
+     fraig       functional reduction (merge SAT-proved equivalences)
+     opt         run an optimization pipeline over an AIGER file
+     bounded     bounded sequential equivalence (unroll + CEC)
+     bmc         bounded safety of a sequential AIGER file
+     sat         solve a DIMACS CNF with proof logging
      suite       list the built-in benchmark suite
-     serve       run the certification daemon over a Unix socket
-     client      submit one request to a running daemon
-     batch       run a manifest of pairs against a store, no daemon *)
+     serve       run the certification daemon (Unix socket and/or TCP)
+     client      submit one request to a daemon or a fleet router
+     route       run the fleet router over a ring of shard daemons
+     batch       run a manifest of pairs against a store, no daemon
+     fsck        check and repair a certificate store directory
+
+   The [commands] list at the bottom is the authority; an unknown
+   subcommand prints that list and exits 2. *)
 
 module Cec = Cec_core.Cec
 module Sweep = Cec_core.Sweep
@@ -492,67 +502,159 @@ let service_engine jobs budget sweep_mode =
   in
   match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
 
-let run_serve socket store capacity_mb no_paranoid workers queue jobs budget sweep_mode timeout_ms
-    quiet stats_out trace_out faults =
-  with_faults faults @@ fun () ->
-  let cfg =
-    {
-      (Service.Server.default_config ~socket_path:socket ~store_dir:store) with
-      Service.Server.store_capacity = mb_to_bytes capacity_mb;
-      paranoid = not no_paranoid;
-      workers;
-      queue_capacity = queue;
-      engine = service_engine jobs budget sweep_mode;
-      default_timeout_ms = timeout_ms;
-      log = not quiet;
-      stats_out;
-      trace_out;
-    }
+(* [--socket PATH] is always a Unix path; [--listen ADDR] goes through
+   {!Service.Addr.parse} (Unix path or HOST:PORT).  Any mix, at least
+   one. *)
+let listen_addrs socket listens =
+  let parsed =
+    List.fold_left
+      (fun acc spec ->
+        match acc with
+        | Error _ -> acc
+        | Ok addrs -> (
+          match Service.Addr.parse spec with
+          | Ok a -> Ok (a :: addrs)
+          | Error msg -> Error msg))
+      (Ok []) listens
   in
-  match Service.Server.run cfg with
-  | _ -> 0
-  | exception Failure msg ->
+  match parsed with
+  | Error msg -> Error msg
+  | Ok addrs -> (
+    match
+      (match socket with Some p -> [ Service.Addr.Unix_path p ] | None -> [])
+      @ List.rev addrs
+    with
+    | [] -> Error "expected --socket PATH or --listen ADDR"
+    | addrs -> Ok addrs)
+
+let run_serve socket listens store capacity_mb no_paranoid workers queue jobs budget sweep_mode
+    timeout_ms quiet stats_out trace_out faults =
+  with_faults faults @@ fun () ->
+  match listen_addrs socket listens with
+  | Error msg ->
     prerr_endline msg;
     2
-  | exception Unix.Unix_error (e, fn, arg) ->
-    Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
-    2
-
-let run_client socket ping stats shutdown timeout_ms retries retry_delay_ms golden revised =
-  let config =
-    {
-      Service.Client.default_config with
-      Service.Client.retries = max 0 retries;
-      base_delay_ms = retry_delay_ms;
-    }
-  in
-  let send req =
-    match
-      Service.Client.request ~config ~socket_path:socket (Service.Protocol.print_request req)
-    with
-    | Error msg ->
+  | Ok listen -> (
+    let cfg =
+      {
+        (Service.Server.default_config ~socket_path:"unused" ~store_dir:store) with
+        Service.Server.listen;
+        store_capacity = mb_to_bytes capacity_mb;
+        paranoid = not no_paranoid;
+        workers;
+        queue_capacity = queue;
+        engine = service_engine jobs budget sweep_mode;
+        default_timeout_ms = timeout_ms;
+        log = not quiet;
+        stats_out;
+        trace_out;
+      }
+    in
+    match Service.Server.run cfg with
+    | _ -> 0
+    | exception Failure msg ->
       prerr_endline msg;
       2
-    | Ok line ->
-      print_endline line;
-      (match Service.Protocol.field "error" line with
-      | Some _ -> 2
-      | None -> (
-        match Service.Protocol.field "status" line with
-        | Some "equivalent" -> 0
-        | Some "inequivalent" -> 1
-        | Some "undecided" | Some "timeout" | Some "uncertified" -> 4
-        | _ -> 0))
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
+      2)
+
+let run_client socket connects connect_timeout_ms ping stats metrics shutdown timeout_ms retries
+    retry_delay_ms golden revised =
+  match listen_addrs socket connects with
+  | Error _ ->
+    prerr_endline "client: expected --socket PATH or --connect ADDR";
+    2
+  | Ok addrs -> (
+    let config =
+      {
+        Service.Client.default_config with
+        Service.Client.retries = max 0 retries;
+        base_delay_ms = retry_delay_ms;
+        connect_timeout_ms;
+      }
+    in
+    let send req =
+      match Service.Client.request_to ~config addrs (Service.Protocol.print_request req) with
+      | Error msg ->
+        prerr_endline msg;
+        2
+      | Ok line ->
+        print_endline line;
+        (match Service.Protocol.field "error" line with
+        | Some _ -> 2
+        | None -> (
+          match Service.Protocol.field "status" line with
+          | Some "equivalent" -> 0
+          | Some "inequivalent" -> 1
+          | Some "undecided" | Some "timeout" | Some "uncertified" -> 4
+          | _ -> 0))
+    in
+    if ping then send Service.Protocol.Ping
+    else if stats then send Service.Protocol.Stats
+    else if metrics then send Service.Protocol.Metrics
+    else if shutdown then send Service.Protocol.Shutdown
+    else
+      match (golden, revised) with
+      | Some golden, Some revised -> send (Service.Protocol.Check { golden; revised; timeout_ms })
+      | _ ->
+        prerr_endline
+          "client: expected GOLDEN and REVISED paths (or --ping/--stats/--metrics/--shutdown)";
+        2)
+
+(* A shard spec is [ID=ADDR] ([ADDR] alone uses the address string as
+   the ring id — fine for ad-hoc fleets, but named ids keep ring
+   placement stable when a shard moves host). *)
+let parse_shard spec =
+  let id, addr_spec =
+    match String.index_opt spec '=' with
+    | Some i when i > 0 && not (String.contains (String.sub spec 0 i) '/') ->
+      (String.sub spec 0 i, String.sub spec (i + 1) (String.length spec - i - 1))
+    | _ -> (spec, spec)
   in
-  if ping then send Service.Protocol.Ping
-  else if stats then send Service.Protocol.Stats
-  else if shutdown then send Service.Protocol.Shutdown
-  else
-    match (golden, revised) with
-    | Some golden, Some revised -> send (Service.Protocol.Check { golden; revised; timeout_ms })
-    | _ ->
-      prerr_endline "client: expected GOLDEN and REVISED paths (or --ping/--stats/--shutdown)";
+  match Service.Addr.parse addr_spec with
+  | Ok addr -> Ok { Fleet.Router.id; addr }
+  | Error msg -> Error (Printf.sprintf "shard %S: %s" spec msg)
+
+let run_route listen shard_specs replicas vnodes workers max_inflight queue probe_interval_ms
+    connect_timeout_ms retry_after_ms quiet stats_out =
+  let shards =
+    List.fold_left
+      (fun acc spec ->
+        match (acc, parse_shard spec) with
+        | Error _, _ -> acc
+        | _, (Error _ as e) -> e
+        | Ok shards, Ok s -> Ok (s :: shards))
+      (Ok []) shard_specs
+  in
+  match (Service.Addr.parse listen, shards) with
+  | Error msg, _ | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok listen, Ok shards -> (
+    let cfg =
+      {
+        (Fleet.Router.default_config ~listen ~shards:(List.rev shards)) with
+        Fleet.Router.replicas;
+        vnodes;
+        workers;
+        max_inflight;
+        queue_capacity = queue;
+        probe_interval_ms;
+        connect_timeout_ms;
+        retry_after_ms;
+        log = not quiet;
+        stats_out;
+      }
+    in
+    match Fleet.Router.run cfg with
+    | _ -> 0
+    | exception (Failure msg | Invalid_argument msg) ->
+      prerr_endline msg;
       2
+    | exception Unix.Unix_error (e, fn, arg) ->
+      Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
+      2)
 
 let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget sweep_mode
     timeout_ms stats_out trace_out faults =
@@ -847,9 +949,27 @@ let suite_cmd =
 
 let socket_arg =
   Arg.(
-    required
+    value
     & opt (some string) None
     & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Listen address: a Unix socket path or $(b,HOST:PORT) (port 0 asks the kernel for an \
+           ephemeral port).  Repeatable; combines with $(b,--socket).")
+
+let connect_timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "connect-timeout-ms" ] ~docv:"MS"
+        ~doc:
+          "Bound each connect attempt; without it a TCP connect to an unreachable host blocks \
+           on the kernel's own (minutes-long) timeout.")
 
 let store_arg =
   Arg.(
@@ -899,20 +1019,21 @@ let serve_cmd =
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-request logging to stderr.") in
   Cmd.v
-    (Cmd.info "serve" ~doc:"Run the certification daemon over a Unix domain socket."
+    (Cmd.info "serve" ~doc:"Run the certification daemon (Unix socket and/or TCP)."
        ~man:
          [
            `S Manpage.s_description;
            `P
              "Answers line-delimited requests (see $(b,client)) from a persistent \
               content-addressed certificate store, solving misses on the parallel engine.  \
-              SIGINT/SIGTERM or a $(b,shutdown) request drains the queue, persists the store \
-              index and exits.";
+              Listens on any mix of $(b,--socket) and $(b,--listen) endpoints — a TCP listen \
+              makes the daemon a fleet shard behind $(b,route).  SIGINT/SIGTERM or a \
+              $(b,shutdown) request drains the queue, persists the store index and exits.";
          ])
     Term.(
-      const run_serve $ socket_arg $ store_arg $ capacity_arg $ no_paranoid_arg $ workers $ queue
-      $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg $ quiet
-      $ stats_out_arg $ trace_out_arg $ faults_arg)
+      const run_serve $ socket_arg $ listen_arg $ store_arg $ capacity_arg $ no_paranoid_arg
+      $ workers $ queue $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg
+      $ quiet $ stats_out_arg $ trace_out_arg $ faults_arg)
 
 let client_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
@@ -930,11 +1051,28 @@ let client_cmd =
       & info [ "retry-delay-ms" ] ~docv:"MS" ~doc:"Backoff unit for the first retry.")
   in
   let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Fetch metrics and store counters as JSON.") in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Fetch the full observability registry as flat JSON (from a router: the aggregated \
+             fleet-wide snapshot).")
+  in
   let shutdown = Arg.(value & flag & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit.") in
+  let connect =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Daemon or router address (Unix socket path or $(b,HOST:PORT)).  Repeatable: \
+             retries rotate through the addresses, failing over across replicas.")
+  in
   let golden = Arg.(value & pos 0 (some string) None & info [] ~docv:"GOLDEN" ~doc:"Golden netlist path (as seen by the daemon).") in
   let revised = Arg.(value & pos 1 (some string) None & info [] ~docv:"REVISED" ~doc:"Revised netlist path (as seen by the daemon).") in
   Cmd.v
-    (Cmd.info "client" ~doc:"Submit one request to a running certification daemon."
+    (Cmd.info "client" ~doc:"Submit one request to a daemon or a fleet router."
        ~man:
          [
            `S Manpage.s_description;
@@ -943,8 +1081,88 @@ let client_cmd =
               equivalent, 1 inequivalent, 2 error, 4 undecided or timed out.";
          ])
     Term.(
-      const run_client $ socket_arg $ ping $ stats $ shutdown $ timeout_ms_arg $ retries $ retry_delay
-      $ golden $ revised)
+      const run_client $ socket_arg $ connect $ connect_timeout_arg $ ping $ stats $ metrics
+      $ shutdown $ timeout_ms_arg $ retries $ retry_delay $ golden $ revised)
+
+let route_cmd =
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:"Router listen address (Unix socket path or $(b,HOST:PORT)).")
+  in
+  let shard =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "shard" ] ~docv:"[ID=]ADDR"
+          ~doc:
+            "A shard daemon, repeatable.  $(i,ID) is the stable ring identity (defaults to the \
+             address); keep ids fixed across restarts so keys keep their owners.")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 1
+      & info [ "replicas" ] ~docv:"R"
+          ~doc:
+            "Replica-set size per key: requests fail over across $(docv) shards, and fresh \
+             verdicts are replayed to the standby replicas in the background.")
+  in
+  let vnodes =
+    Arg.(
+      value
+      & opt int Fleet.Ring.default_vnodes
+      & info [ "vnodes" ] ~docv:"N" ~doc:"Ring points per shard (balance/monotonicity knob).")
+  in
+  let workers =
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc:"Forwarding worker domains.")
+  in
+  let max_inflight =
+    Arg.(
+      value & opt int 8
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:"Per-shard in-flight forward cap; a saturated replica set is answered with a \
+                typed $(b,overloaded) rejection.")
+  in
+  let queue =
+    Arg.(
+      value & opt int 128
+      & info [ "queue" ] ~docv:"N" ~doc:"Accepted-connection queue bound; beyond it requests \
+                                         are shed immediately.")
+  in
+  let probe =
+    Arg.(
+      value & opt float 500.
+      & info [ "probe-interval-ms" ] ~docv:"MS" ~doc:"Health probe period per shard.")
+  in
+  let connect_timeout =
+    Arg.(
+      value & opt float 250.
+      & info [ "connect-timeout-ms" ] ~docv:"MS" ~doc:"Per-forward connect bound.")
+  in
+  let retry_after =
+    Arg.(
+      value & opt int 50
+      & info [ "retry-after-ms" ] ~docv:"MS"
+          ~doc:"Retry hint carried by $(b,overloaded) rejections.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress router logging to stderr.") in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Run the fleet router over a ring of shard daemons."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Speaks the same line protocol as $(b,serve) and consistent-hashes each \
+              $(b,check)'s structural key over the shard ring, so repeated and equivalent \
+              requests land on the shard that already holds the certificate.  Failed shards \
+              are probed, skipped and failed over; $(b,client --metrics) against the router \
+              returns the merged fleet-wide snapshot.";
+         ])
+    Term.(
+      const run_route $ listen $ shard $ replicas $ vnodes $ workers $ max_inflight $ queue
+      $ probe $ connect_timeout $ retry_after $ quiet $ stats_out_arg)
 
 let batch_cmd =
   let manifest =
@@ -990,14 +1208,49 @@ let fsck_cmd =
          ])
     Term.(const run_fsck $ store_arg)
 
+let commands =
+  [
+    gen_cmd;
+    stats_cmd;
+    miter_cmd;
+    dimacs_cmd;
+    cec_cmd;
+    check_proof_cmd;
+    fraig_cmd;
+    opt_cmd;
+    bounded_cmd;
+    bmc_cmd;
+    sat_cmd;
+    suite_cmd;
+    serve_cmd;
+    client_cmd;
+    route_cmd;
+    batch_cmd;
+    fsck_cmd;
+  ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "cec_tool" ~version:"1.0.0"
        ~doc:"Combinational equivalence checking with resolution proofs.")
-    [ gen_cmd; stats_cmd; miter_cmd; dimacs_cmd; cec_cmd; check_proof_cmd; fraig_cmd; opt_cmd; bounded_cmd; bmc_cmd; sat_cmd; suite_cmd; serve_cmd; client_cmd; batch_cmd; fsck_cmd ]
+    commands
 
 let () =
   (* Real wall-clock timelines for spans and latency histograms; the
      dependency-free Obs default is processor time. *)
   Obs.Clock.set Unix.gettimeofday;
+  (* An unknown subcommand enumerates the full command list and exits 2
+     (cmdliner's own message reserves exit 124 for CLI parse errors and
+     its suggestion list elides non-near-miss names).  Unambiguous
+     prefixes still reach cmdliner, which accepts them. *)
+  let names = List.map Cmd.name commands in
+  (match Array.to_list Sys.argv with
+  | _ :: arg :: _
+    when String.length arg > 0
+         && arg.[0] <> '-'
+         && not (List.exists (fun n -> String.starts_with ~prefix:arg n) names) ->
+    Printf.eprintf "cec_tool: unknown command %S.\nCommands:\n  %s\n" arg
+      (String.concat "\n  " names);
+    exit 2
+  | _ -> ());
   exit (Cmd.eval' main_cmd)

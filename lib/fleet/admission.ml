@@ -1,0 +1,28 @@
+type t = {
+  capacity : int;
+  lock : Mutex.t;
+  mutable in_flight : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { capacity; lock = Mutex.create (); in_flight = 0 }
+
+let capacity t = t.capacity
+let in_flight t = Mutex.protect t.lock (fun () -> t.in_flight)
+
+let try_acquire t =
+  Mutex.protect t.lock (fun () ->
+      if t.in_flight >= t.capacity then false
+      else begin
+        t.in_flight <- t.in_flight + 1;
+        true
+      end)
+
+let release t =
+  Mutex.protect t.lock (fun () ->
+      if t.in_flight <= 0 then invalid_arg "Admission.release: no slot held";
+      t.in_flight <- t.in_flight - 1)
+
+let with_slot t f =
+  if try_acquire t then Some (Fun.protect ~finally:(fun () -> release t) f) else None

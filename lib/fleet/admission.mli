@@ -1,0 +1,35 @@
+(** Per-shard admission control: a concurrency cap on in-flight
+    forwarded requests.
+
+    The shard daemons already bound their own queues, but by the time
+    a shard bounces a request the router has paid a connect and a
+    round trip for a rejection.  Capping in-flight forwards at the
+    router keeps the excess load off the wire entirely: a saturated
+    shard is skipped in favour of its replicas, and when the whole
+    replica set is saturated the client gets one immediate typed
+    [overloaded] rejection with a retry-after hint — bounded latency
+    under overload instead of collapse.
+
+    A slot is acquired for the duration of one forwarded exchange and
+    must be released exactly once.  Mutex-serialized, safe from any
+    domain. *)
+
+type t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> t
+
+val capacity : t -> int
+val in_flight : t -> int
+
+(** [true] and a slot held, or [false] when the cap is reached. *)
+val try_acquire : t -> bool
+
+(** Release a held slot.  @raise Invalid_argument when no slot is
+    held (a double release is always a router bug worth crashing
+    loudly on). *)
+val release : t -> unit
+
+(** [with_slot t f] runs [f] holding a slot, releasing on any exit;
+    [None] when the cap is reached ([f] not run). *)
+val with_slot : t -> (unit -> 'a) -> 'a option

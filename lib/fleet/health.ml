@@ -1,0 +1,28 @@
+type t = {
+  threshold : int;
+  lock : Mutex.t;
+  mutable up : bool;
+  mutable failures : int;
+}
+
+let create ?(failure_threshold = 1) () =
+  { threshold = max 1 failure_threshold; lock = Mutex.create (); up = true; failures = 0 }
+
+let with_lock t f = Mutex.protect t.lock f
+
+let up t = with_lock t (fun () -> t.up)
+let failures t = with_lock t (fun () -> t.failures)
+
+let record_success t =
+  with_lock t (fun () ->
+      let transitioned = not t.up in
+      t.up <- true;
+      t.failures <- 0;
+      transitioned)
+
+let record_failure t =
+  with_lock t (fun () ->
+      t.failures <- t.failures + 1;
+      let transitioned = t.up && t.failures >= t.threshold in
+      if transitioned then t.up <- false;
+      transitioned)

@@ -1,0 +1,34 @@
+(** Per-shard health state, fed by both the router's periodic ping
+    probes and the outcome of real forwarded requests.
+
+    A shard is [up] until [failure_threshold] {e consecutive} failures
+    are recorded (probe timeouts, refused connects, mid-exchange
+    EOFs), and up again on the first success — asymmetric on purpose:
+    marking down is damped so one dropped packet does not trigger a
+    failover stampede, while recovery is instant because the evidence
+    (a completed exchange) is definitive.
+
+    Transitions are reported by the recording call, so the caller can
+    count and log them exactly once.  All operations are serialized by
+    an internal mutex and safe from any domain. *)
+
+type t
+
+(** [create ()] starts [up] with a clean failure count.
+    [failure_threshold] defaults to 1 (fail over on first evidence —
+    the router retries through replicas anyway, so pessimism is
+    cheap). *)
+val create : ?failure_threshold:int -> unit -> t
+
+val up : t -> bool
+
+(** Consecutive failures since the last success. *)
+val failures : t -> int
+
+(** Record a completed exchange; [true] iff this flipped the shard
+    from down to up. *)
+val record_success : t -> bool
+
+(** Record a failed exchange; [true] iff this flipped the shard from
+    up to down. *)
+val record_failure : t -> bool

@@ -1,0 +1,96 @@
+type t = {
+  ids : string list;  (* sorted, distinct *)
+  vnodes : int;
+  points : (int * string) array;  (* sorted by (hash, id) *)
+}
+
+let default_vnodes = 64
+
+(* Point placement must be stable across processes and join orders, so
+   the hash is a digest of the labelling string, not [Hashtbl.hash]
+   (whose value is unspecified across OCaml versions).  62 bits keep
+   every point a nonnegative OCaml int. *)
+let hash_string s =
+  let d = Digest.string s in
+  let byte i = Char.code d.[i] in
+  let h = ref 0 in
+  for i = 0 to 7 do
+    h := (!h lsl 8) lor byte i
+  done;
+  !h land max_int
+
+let hash_key key = hash_string ("key\x00" ^ key)
+
+let points_of ids vnodes =
+  let points =
+    List.concat_map
+      (fun id -> List.init vnodes (fun i -> (hash_string (Printf.sprintf "%s#%d" id i), id)))
+      ids
+    |> Array.of_list
+  in
+  Array.sort compare points;
+  points
+
+let validate_id id = if id = "" then invalid_arg "Ring: empty shard id"
+
+let create ?(vnodes = default_vnodes) ids =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+  if ids = [] then invalid_arg "Ring.create: no shards";
+  List.iter validate_id ids;
+  let sorted = List.sort_uniq compare ids in
+  if List.length sorted <> List.length ids then invalid_arg "Ring.create: duplicate shard id";
+  { ids = sorted; vnodes; points = points_of sorted vnodes }
+
+let shards t = t.ids
+let num_shards t = List.length t.ids
+let vnodes t = t.vnodes
+let mem t id = List.mem id t.ids
+
+let add t id =
+  validate_id id;
+  if mem t id then invalid_arg (Printf.sprintf "Ring.add: shard %S already present" id);
+  let ids = List.sort compare (id :: t.ids) in
+  { t with ids; points = points_of ids t.vnodes }
+
+let remove t id =
+  if not (mem t id) then invalid_arg (Printf.sprintf "Ring.remove: shard %S not present" id);
+  if num_shards t = 1 then invalid_arg "Ring.remove: cannot empty the ring";
+  let ids = List.filter (fun i -> i <> id) t.ids in
+  { t with ids; points = points_of ids t.vnodes }
+
+(* Index of the first point with hash >= h, wrapping to 0 past the
+   end — the key's successor on the circle. *)
+let successor points h =
+  let n = Array.length points in
+  let rec bsearch lo hi =
+    (* invariant: points.(lo-1) < h <= points.(hi), with sentinels *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst points.(mid) < h then bsearch (mid + 1) hi else bsearch lo mid
+  in
+  let i = bsearch 0 n in
+  if i = n then 0 else i
+
+let lookup ?(n = 1) t key =
+  let num = num_shards t in
+  if num = 0 || n < 1 then []
+  else begin
+    let want = min n num in
+    let start = successor t.points (hash_key key) in
+    let total = Array.length t.points in
+    let seen = Hashtbl.create (2 * want) in
+    let owners = ref [] in
+    let i = ref 0 in
+    while Hashtbl.length seen < want && !i < total do
+      let _, id = t.points.((start + !i) mod total) in
+      if not (Hashtbl.mem seen id) then begin
+        Hashtbl.add seen id ();
+        owners := id :: !owners
+      end;
+      incr i
+    done;
+    List.rev !owners
+  end
+
+let owner t key = match lookup ~n:1 t key with [] -> None | id :: _ -> Some id

@@ -1,0 +1,57 @@
+(** A consistent-hash ring over shard identifiers.
+
+    The certification service's unit of distribution is the per-pair
+    certificate, already keyed by the structural hash of the
+    normalized pair ({!Service.Key}); the ring decides {e which shard
+    owns which key}.  Each shard contributes [vnodes] points on a
+    2^62-sized hash circle (derived by digesting ["id#i"], so point
+    placement depends only on the shard id, never on join order); a
+    key belongs to the first point at or clockwise after its own hash,
+    and its replica set is the first [n] {e distinct} shards from
+    there.
+
+    Consistent hashing is what makes the fleet elastic: adding or
+    removing one shard only moves the keys whose arc changed hands —
+    about [1/N] of the keyspace — while every other key keeps its
+    owner (and therefore its warm cache entry).  The qcheck suite pins
+    both properties: balance (no shard owns a grossly outsized share)
+    and monotonicity (a key's owner after a shard join is either its
+    old owner or the new shard; after a leave, keys not owned by the
+    leaver do not move).
+
+    Values are immutable: [add]/[remove] return new rings, so a router
+    can swap topologies atomically by replacing one reference. *)
+
+type t
+
+(** Number of points each shard contributes (default 64 — keeps the
+    owner-share coefficient of variation around 15% for small N). *)
+val default_vnodes : int
+
+(** [create ?vnodes ids] builds a ring over the given shard ids.
+    @raise Invalid_argument on an empty list, duplicate ids, an empty
+    id, or [vnodes < 1]. *)
+val create : ?vnodes:int -> string list -> t
+
+(** Shard ids, sorted. *)
+val shards : t -> string list
+
+val num_shards : t -> int
+val vnodes : t -> int
+val mem : t -> string -> bool
+
+(** @raise Invalid_argument if the id is already present or empty. *)
+val add : t -> string -> t
+
+(** @raise Invalid_argument if the id is not present, or when removing
+    the last shard (a ring is never empty). *)
+val remove : t -> string -> t
+
+(** [lookup t ~n key] is the key's replica set: the first [min n
+    (num_shards t)] distinct shards clockwise from the key's hash, in
+    preference order (primary first).  [n] defaults to 1.  Never
+    empty.  Deterministic for a given ring and key. *)
+val lookup : ?n:int -> t -> string -> string list
+
+(** Primary owner, the head of [lookup ~n:1]. *)
+val owner : t -> string -> string option

@@ -1,0 +1,495 @@
+module P = Service.Protocol
+module Addr = Service.Addr
+module Wire = Service.Wire
+module Key = Service.Key
+
+type shard = {
+  id : string;
+  addr : Addr.t;
+}
+
+type config = {
+  listen : Addr.t;
+  shards : shard list;
+  replicas : int;
+  vnodes : int;
+  workers : int;
+  max_inflight : int;
+  queue_capacity : int;
+  probe_interval_ms : float;
+  connect_timeout_ms : float;
+  retry_after_ms : int;
+  replication_queue : int;
+  log : bool;
+  stats_out : string option;
+  on_listen : Addr.t -> unit;
+}
+
+let default_config ~listen ~shards =
+  {
+    listen;
+    shards;
+    replicas = 1;
+    vnodes = Ring.default_vnodes;
+    workers = 4;
+    max_inflight = 8;
+    queue_capacity = 128;
+    probe_interval_ms = 500.;
+    connect_timeout_ms = 250.;
+    retry_after_ms = 50;
+    replication_queue = 256;
+    log = false;
+    stats_out = None;
+    on_listen = ignore;
+  }
+
+type shard_state = {
+  shard : shard;
+  health : Health.t;
+  admission : Admission.t;
+}
+
+type t = {
+  cfg : config;
+  replicas : int;
+  ring : Ring.t;
+  states : shard_state array;
+  by_id : (string, shard_state) Hashtbl.t;
+  (* Router-local counters.  Workers, the prober and the replicator all
+     record here, so unlike the per-domain registries elsewhere in the
+     tree this one is shared and must be locked. *)
+  reg : Obs.Registry.t;
+  reg_lock : Mutex.t;
+  (* Accepted connections waiting for a worker. *)
+  q_lock : Mutex.t;
+  q_nonempty : Condition.t;
+  queue : Unix.file_descr Queue.t;
+  mutable draining : bool;
+  (* Warm-replication jobs: the original request line and the replica
+     ids that still need a copy of the verdict. *)
+  r_lock : Mutex.t;
+  r_nonempty : Condition.t;
+  repl : (string * string list) Queue.t;
+  mutable r_draining : bool;
+  stop : bool Atomic.t;
+}
+
+let tick ?(n = 1) st name =
+  Mutex.protect st.reg_lock (fun () ->
+      Obs.Counter.add (Obs.Registry.counter st.reg name) n)
+
+let counter_value st name =
+  Mutex.protect st.reg_lock (fun () ->
+      Obs.Counter.get (Obs.Registry.counter st.reg name))
+
+let logf st fmt =
+  Printf.ksprintf
+    (fun msg -> if st.cfg.log then Printf.eprintf "[router] %s\n%!" msg)
+    fmt
+
+let reply fd line =
+  (* The peer may have given up and gone away; its loss, not ours. *)
+  try Wire.write_line fd line with Unix.Unix_error _ -> ()
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* {2 Forwarding} *)
+
+type outcome =
+  | Answer of string  (** shard answered; relay verbatim *)
+  | Busy  (** shard is alive but shedding load; try a replica *)
+  | Down of string  (** transport failure; shard presumed dead *)
+
+let forward st ss line =
+  match Addr.connect ~timeout_ms:st.cfg.connect_timeout_ms ss.shard.addr with
+  | exception Unix.Unix_error (e, _, _) -> Down (Unix.error_message e)
+  | exception Failure msg -> Down msg
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quietly fd)
+      (fun () ->
+        match
+          Wire.write_line fd line;
+          Wire.read_line fd
+        with
+        | exception Unix.Unix_error (e, _, _) -> Down (Unix.error_message e)
+        | Error msg -> Down msg
+        | Ok resp -> (
+          match P.field "code" resp with
+          | Some ("queue_full" | "overloaded") -> Busy
+          | _ -> Answer resp))
+
+let note_alive st ss =
+  if Health.record_success ss.health then begin
+    tick st "fleet.shard_up";
+    logf st "shard %s is back up" ss.shard.id
+  end
+
+let note_dead st ss msg =
+  tick st "fleet.forward_failures";
+  if Health.record_failure ss.health then begin
+    tick st "fleet.shard_down";
+    logf st "shard %s marked down: %s" ss.shard.id msg
+  end
+
+(* {2 Routing} *)
+
+let overloaded_response st =
+  P.to_json
+    [
+      ("error", P.String "fleet saturated");
+      ("code", P.String "overloaded");
+      ("retry_after_ms", P.Int st.cfg.retry_after_ms);
+    ]
+
+let unavailable_response =
+  P.error_response ~code:"unavailable" "no replica reachable"
+
+(* Try one shard under its admission cap.  [Some response] relays;
+   [None] falls through to the next replica. *)
+let try_shard st ~fallback ss line saturated =
+  if not (Admission.try_acquire ss.admission) then begin
+    saturated := true;
+    None
+  end
+  else
+    Fun.protect
+      ~finally:(fun () -> Admission.release ss.admission)
+      (fun () ->
+        match forward st ss line with
+        | Answer resp ->
+          note_alive st ss;
+          tick st "fleet.forwarded";
+          if fallback then tick st "fleet.failovers";
+          Some (ss.shard.id, resp)
+        | Busy ->
+          (* A load-shedding shard is a healthy shard. *)
+          note_alive st ss;
+          saturated := true;
+          None
+        | Down msg ->
+          note_dead st ss msg;
+          None)
+
+let schedule_replication st line others =
+  let accepted =
+    Mutex.protect st.r_lock (fun () ->
+        if st.r_draining || Queue.length st.repl >= st.cfg.replication_queue
+        then false
+        else begin
+          Queue.push (line, others) st.repl;
+          true
+        end)
+  in
+  if accepted then Condition.signal st.r_nonempty
+  else tick st "fleet.replication_dropped"
+
+let route_check st fd line key =
+  tick st "fleet.checks";
+  let owner_ids = Ring.lookup ~n:st.replicas st.ring key in
+  let owners = List.map (Hashtbl.find st.by_id) owner_ids in
+  let saturated = ref false in
+  (* Preference pass over shards believed up; shards marked down get a
+     second chance only after every live replica has been tried — the
+     prober may simply not have noticed a recovery yet. *)
+  let live, down = List.partition (fun ss -> Health.up ss.health) owners in
+  let rec first_answer ~fallback = function
+    | [] -> None
+    | ss :: rest -> (
+      match try_shard st ~fallback ss line saturated with
+      | Some _ as r -> r
+      | None -> first_answer ~fallback:true rest)
+  in
+  let ordered = live @ down in
+  let starts_at_primary =
+    match (ordered, owners) with
+    | a :: _, b :: _ -> a.shard.id = b.shard.id
+    | _ -> false
+  in
+  let answer = first_answer ~fallback:(not starts_at_primary) ordered in
+  match answer with
+  | Some (answered_by, resp) ->
+    reply fd resp;
+    (* A fresh verdict on a replicated key gets replayed to the rest of
+       the replica set in the background, keeping standby stores warm. *)
+    if List.length owner_ids > 1 then begin
+      match (P.field "cached" resp, P.field "status" resp) with
+      | Some "false", Some ("equivalent" | "inequivalent") ->
+        schedule_replication st line
+          (List.filter (fun id -> id <> answered_by) owner_ids)
+      | _ -> ()
+    end
+  | None ->
+    if !saturated then begin
+      tick st "fleet.overloaded";
+      reply fd (overloaded_response st)
+    end
+    else begin
+      tick st "fleet.unavailable";
+      reply fd unavailable_response
+    end
+
+(* {2 Aggregation} *)
+
+let fleet_snapshot st =
+  let reg = Obs.Registry.create () in
+  Array.iter
+    (fun ss ->
+      match forward st ss "metrics" with
+      | Answer line -> (
+        match Snapshot.merge_into reg line with
+        | Ok () -> tick st "fleet.polls"
+        | Error msg ->
+          tick st "fleet.poll_errors";
+          logf st "shard %s: bad metrics snapshot: %s" ss.shard.id msg)
+      | Busy | Down _ -> tick st "fleet.poll_errors")
+    st.states;
+  (* Merge our own counters last so the poll bookkeeping above is part
+     of the snapshot it produced. *)
+  Mutex.protect st.reg_lock (fun () -> Obs.Registry.merge_into ~into:reg st.reg);
+  reg
+
+let stats_response st =
+  let up =
+    Array.fold_left
+      (fun n ss -> if Health.up ss.health then n + 1 else n)
+      0 st.states
+  in
+  P.to_json
+    [
+      ("ok", P.Bool true);
+      ("router", P.Bool true);
+      ("shards", P.Int (Array.length st.states));
+      ("shards_up", P.Int up);
+      ("replicas", P.Int st.replicas);
+      ("requests", P.Int (counter_value st "fleet.requests"));
+      ("forwarded", P.Int (counter_value st "fleet.forwarded"));
+      ("failovers", P.Int (counter_value st "fleet.failovers"));
+      ("overloaded", P.Int (counter_value st "fleet.overloaded"));
+      ("unavailable", P.Int (counter_value st "fleet.unavailable"));
+      ("replicated", P.Int (counter_value st "fleet.replicated"));
+    ]
+
+(* {2 Request handling} *)
+
+let handle st fd =
+  match Wire.read_line fd with
+  | Error msg -> reply fd (P.error_response msg)
+  | Ok line -> (
+    tick st "fleet.requests";
+    match P.parse_request line with
+    | Error msg -> reply fd (P.error_response msg)
+    | Ok P.Ping -> reply fd (P.to_json [ ("ok", P.Bool true); ("router", P.Bool true) ])
+    | Ok P.Stats -> reply fd (stats_response st)
+    | Ok P.Metrics ->
+      reply fd (String.trim (Obs.Export.stats_json (fleet_snapshot st)))
+    | Ok P.Shutdown ->
+      Atomic.set st.stop true;
+      reply fd (P.to_json [ ("ok", P.Bool true); ("draining", P.Bool true) ])
+    | Ok (P.Check { golden; revised; timeout_ms = _ }) -> (
+      (* Key exactly as a shard would, so ring placement and shard
+         store identity agree by construction. *)
+      match (Service.Server.load_netlist golden, Service.Server.load_netlist revised) with
+      | Error msg, _ | _, Error msg -> reply fd (P.error_response msg)
+      | Ok a, Ok b -> route_check st fd line (Key.to_hex (Key.of_pair a b))))
+
+let rec worker_loop st =
+  let job =
+    Mutex.protect st.q_lock (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty st.queue) then Some (Queue.pop st.queue)
+          else if st.draining then None
+          else begin
+            Condition.wait st.q_nonempty st.q_lock;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  match job with
+  | None -> ()
+  | Some fd ->
+    (try handle st fd
+     with e -> reply fd (P.error_response (Printexc.to_string e)));
+    close_quietly fd;
+    worker_loop st
+
+(* {2 Background domains} *)
+
+let rec replicator st =
+  let job =
+    Mutex.protect st.r_lock (fun () ->
+        let rec wait () =
+          if not (Queue.is_empty st.repl) then Some (Queue.pop st.repl)
+          else if st.r_draining then None
+          else begin
+            Condition.wait st.r_nonempty st.r_lock;
+            wait ()
+          end
+        in
+        wait ())
+  in
+  match job with
+  | None -> ()
+  | Some (line, ids) ->
+    List.iter
+      (fun id ->
+        match Hashtbl.find_opt st.by_id id with
+        | None -> ()
+        | Some ss -> (
+          match forward st ss line with
+          | Answer _ ->
+            note_alive st ss;
+            tick st "fleet.replicated"
+          | Busy ->
+            note_alive st ss;
+            tick st "fleet.replication_failures"
+          | Down msg ->
+            note_dead st ss msg;
+            tick st "fleet.replication_failures"))
+      ids;
+    replicator st
+
+let rec prober st =
+  if not (Atomic.get st.stop) then begin
+    Array.iter
+      (fun ss ->
+        if not (Atomic.get st.stop) then begin
+          tick st "fleet.probes";
+          match forward st ss "ping" with
+          | Answer _ | Busy -> note_alive st ss
+          | Down msg ->
+            tick st "fleet.probe_failures";
+            note_dead st ss msg
+        end)
+      st.states;
+    (* Sleep in short slices so shutdown is not gated on the probe
+       period. *)
+    let rec nap remaining =
+      if remaining > 0. && not (Atomic.get st.stop) then begin
+        Unix.sleepf (Float.min 0.05 remaining);
+        nap (remaining -. 0.05)
+      end
+    in
+    nap (st.cfg.probe_interval_ms /. 1000.);
+    prober st
+  end
+
+(* {2 Accept loop and life cycle} *)
+
+let enqueue st fd =
+  let accepted =
+    Mutex.protect st.q_lock (fun () ->
+        if st.draining || Queue.length st.queue >= st.cfg.queue_capacity then
+          false
+        else begin
+          Queue.push fd st.queue;
+          true
+        end)
+  in
+  if accepted then Condition.signal st.q_nonempty
+  else begin
+    (* Shed load before reading the request: the client learns the
+       retry-after without the router spending a worker on it. *)
+    tick st "fleet.overloaded";
+    reply fd (overloaded_response st);
+    close_quietly fd
+  end
+
+let run cfg =
+  if cfg.shards = [] then invalid_arg "Router.run: no shards";
+  let ids = List.map (fun s -> s.id) cfg.shards in
+  let ring = Ring.create ~vnodes:(max 1 cfg.vnodes) ids in
+  let states =
+    Array.of_list
+      (List.map
+         (fun shard ->
+           {
+             shard;
+             health = Health.create ();
+             admission = Admission.create ~capacity:(max 1 cfg.max_inflight);
+           })
+         cfg.shards)
+  in
+  let by_id = Hashtbl.create 16 in
+  Array.iter (fun ss -> Hashtbl.replace by_id ss.shard.id ss) states;
+  let st =
+    {
+      cfg;
+      replicas = min (max 1 cfg.replicas) (List.length cfg.shards);
+      ring;
+      states;
+      by_id;
+      reg = Obs.Registry.create ();
+      reg_lock = Mutex.create ();
+      q_lock = Mutex.create ();
+      q_nonempty = Condition.create ();
+      queue = Queue.create ();
+      draining = false;
+      r_lock = Mutex.create ();
+      r_nonempty = Condition.create ();
+      repl = Queue.create ();
+      r_draining = false;
+      stop = Atomic.make false;
+    }
+  in
+  let lfd, actual = Addr.bind_listen cfg.listen in
+  cfg.on_listen actual;
+  logf st "routing %d shards (replicas %d) on %s"
+    (Array.length states) st.replicas (Addr.to_string actual);
+  let on_signal _ = Atomic.set st.stop true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
+  let workers =
+    List.init (max 1 cfg.workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop st))
+  in
+  let prober_d = Domain.spawn (fun () -> prober st) in
+  let repl_d = Domain.spawn (fun () -> replicator st) in
+  let rec accept_loop () =
+    if not (Atomic.get st.stop) then begin
+      (match Unix.select [ lfd ] [] [] 0.2 with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept ~cloexec:true lfd with
+        | exception
+            Unix.Unix_error
+              ((EINTR | EAGAIN | EWOULDBLOCK | ECONNABORTED), _, _) ->
+          ()
+        | fd, _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          enqueue st fd));
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  close_quietly lfd;
+  (match actual with
+  | Addr.Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  | Addr.Tcp _ -> ());
+  Mutex.protect st.q_lock (fun () -> st.draining <- true);
+  Condition.broadcast st.q_nonempty;
+  List.iter Domain.join workers;
+  Domain.join prober_d;
+  Mutex.protect st.r_lock (fun () -> st.r_draining <- true);
+  Condition.broadcast st.r_nonempty;
+  Domain.join repl_d;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term;
+  let final = fleet_snapshot st in
+  (match cfg.stats_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Obs.Export.stats_json final);
+    close_out oc);
+  logf st
+    "drained: %d requests, %d forwarded, %d failovers, %d overloaded, %d unavailable"
+    (counter_value st "fleet.requests")
+    (counter_value st "fleet.forwarded")
+    (counter_value st "fleet.failovers")
+    (counter_value st "fleet.overloaded")
+    (counter_value st "fleet.unavailable");
+  final

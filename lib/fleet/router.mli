@@ -1,0 +1,88 @@
+(** The fleet front end: a stateless router that speaks the same
+    line-delimited {!Service.Protocol} as the shard daemons and fans
+    [check] traffic out over a {!Ring} of shards.
+
+    {2 Routing}
+
+    A [check] request is parsed and keyed exactly as a shard would key
+    it (normalize, {!Service.Key.of_pair}), so the router and every
+    shard agree on identity by construction.  The key's replica set —
+    the first [replicas] distinct shards clockwise on the ring — is
+    tried in preference order; the first shard that completes the
+    exchange answers the client verbatim.  The router never interprets
+    verdicts: certificates are produced, stored and validated by the
+    shards, so the fleet path adds no trust surface — a certificate
+    fetched through the router is byte-identical to one fetched from
+    the shard directly.
+
+    {2 Failover}
+
+    Forward failures (refused/timed-out connects, mid-exchange EOFs)
+    mark the shard down via {!Health} and fall through to the next
+    replica; shards marked down are skipped up front and re-tried only
+    as a last resort (they may have recovered since the last probe).
+    A background prober pings every shard each [probe_interval_ms], so
+    a restarted shard rejoins the rotation without traffic having to
+    discover it.  With [replicas >= 2], a solved-on-primary verdict is
+    also replayed to the remaining replica set in the background
+    (fire-and-forget), so the replicas' stores stay warm and a shard
+    loss costs availability of nothing.
+
+    {2 Admission control}
+
+    {!Admission} caps in-flight forwards per shard; a saturated
+    replica set — or a full router queue — is answered immediately
+    with a typed [overloaded] error carrying [retry_after_ms], which
+    the retrying {!Service.Client} backs off on.  Requests the router
+    cannot place at all (every replica down and unreachable) get a
+    typed [unavailable] error.  Accepted connections are always
+    answered.
+
+    {2 Aggregation}
+
+    The router's own counters live in an {!Obs} registry under
+    [fleet.*].  A [metrics] request polls every shard's [metrics]
+    endpoint, folds the snapshots together with {!Snapshot} (counters
+    add, gauges max — the same associative merge used for worker
+    domains) and answers with one fleet-wide flat-JSON snapshot; the
+    same snapshot is written to [stats_out] at shutdown.  [stats]
+    answers a cheap router-local summary without touching shards. *)
+
+type shard = {
+  id : string;  (** ring identity; stable across restarts *)
+  addr : Service.Addr.t;  (** where the shard daemon listens *)
+}
+
+type config = {
+  listen : Service.Addr.t;
+  shards : shard list;
+  replicas : int;  (** replica-set size per key (clamped to 1..N) *)
+  vnodes : int;  (** ring points per shard *)
+  workers : int;  (** forwarding worker domains (min 1) *)
+  max_inflight : int;  (** per-shard in-flight forward cap *)
+  queue_capacity : int;  (** accepted-connection queue bound *)
+  probe_interval_ms : float;  (** health probe period *)
+  connect_timeout_ms : float;  (** per-forward connect bound *)
+  retry_after_ms : int;  (** hint carried by [overloaded] rejections *)
+  replication_queue : int;  (** pending warm-replication bound *)
+  log : bool;
+  stats_out : string option;
+      (** write the final fleet snapshot (router counters + last shard
+          poll) here at shutdown *)
+  on_listen : Service.Addr.t -> unit;
+      (** called with the actual bound address (kernel-assigned port
+          for TCP port 0) before the first accept *)
+}
+
+(** [replicas = 1], 64 vnodes, 4 workers, in-flight cap 8, queue 128,
+    500ms probes, 250ms connect timeout, retry-after 50ms. *)
+val default_config : listen:Service.Addr.t -> shards:shard list -> config
+
+(** Run until SIGINT/SIGTERM or a [shutdown] request; drains accepted
+    connections and the replication queue, then returns the final
+    fleet registry (router [fleet.*] counters merged with the last
+    poll of every reachable shard).
+    @raise Invalid_argument on an empty shard list or duplicate ids,
+    [Failure]/[Unix.Unix_error] when the listen address cannot be
+    bound. *)
+val run : config -> Obs.Registry.t

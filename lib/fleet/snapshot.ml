@@ -1,0 +1,121 @@
+(* Positional parser for the {!Obs.Export.stats_json} shape: the
+   exporter emits ["counters"] first and ["gauges"] second, always,
+   so the sections are parsed in order rather than searched for —
+   a histogram named [*.counters] can never be mistaken for a
+   section header. *)
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+type cursor = { s : string; mutable i : int }
+
+let peek c = if c.i < String.length c.s then Some c.s.[c.i] else None
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.i <- c.i + 1
+  | Some x -> fail "expected %C at byte %d, found %C" ch c.i x
+  | None -> fail "expected %C at byte %d, found end of input" ch c.i
+
+let expect_str c lit =
+  let n = String.length lit in
+  if c.i + n <= String.length c.s && String.sub c.s c.i n = lit then c.i <- c.i + n
+  else fail "expected %S at byte %d" lit c.i
+
+let name_char ch = (ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9')
+                   || ch = '.' || ch = '_' || ch = '-'
+
+let parse_name c =
+  expect c '"';
+  let start = c.i in
+  while match peek c with Some ch when name_char ch -> true | _ -> false do
+    c.i <- c.i + 1
+  done;
+  if c.i = start then fail "empty or malformed name at byte %d" start;
+  let name = String.sub c.s start (c.i - start) in
+  expect c '"';
+  name
+
+let number_char ch = (ch >= '0' && ch <= '9') || ch = '.' || ch = '-' || ch = '+'
+                     || ch = 'e' || ch = 'E' || ch = 'n' || ch = 'a' || ch = 'i' || ch = 'f'
+
+let parse_number c =
+  let start = c.i in
+  while match peek c with Some ch when number_char ch -> true | _ -> false do
+    c.i <- c.i + 1
+  done;
+  if c.i = start then fail "expected a number at byte %d" start;
+  String.sub c.s start (c.i - start)
+
+(* One flat section body: ["name":number{,"name":number}] between the
+   braces.  The opening ["section":{ ] has already been consumed. *)
+let parse_section c =
+  let pairs = ref [] in
+  (match peek c with
+  | Some '}' -> ()
+  | _ ->
+    let rec loop () =
+      let name = parse_name c in
+      expect c ':';
+      let value = parse_number c in
+      pairs := (name, value) :: !pairs;
+      match peek c with
+      | Some ',' ->
+        c.i <- c.i + 1;
+        loop ()
+      | _ -> ()
+    in
+    loop ());
+  expect c '}';
+  List.rev !pairs
+
+let parse_prefix line =
+  let c = { s = String.trim line; i = 0 } in
+  expect_str c "{\"counters\":{";
+  let counters = parse_section c in
+  expect_str c ",\"gauges\":{";
+  let gauges = parse_section c in
+  (* The histogram section (and anything after it) is deliberately not
+     parsed — see the interface. *)
+  (counters, gauges)
+
+let int_of name v =
+  match int_of_string_opt v with
+  | Some n -> n
+  | None -> fail "counter %s: %S is not an integer" name v
+
+let float_of name v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> fail "gauge %s: %S is not a number" name v
+
+let counters line =
+  match parse_prefix line with
+  | cs, _ -> Ok (List.map (fun (n, v) -> (n, int_of n v)) cs)
+  | exception Bad msg -> Error msg
+
+let gauges line =
+  match parse_prefix line with
+  | _, gs -> Ok (List.map (fun (n, v) -> (n, float_of n v)) gs)
+  | exception Bad msg -> Error msg
+
+let merge_into reg line =
+  match parse_prefix line with
+  | exception Bad msg -> Error msg
+  | cs, gs -> (
+    (* Validate both sections before mutating anything: a snapshot
+       whose tail is garbled must not half-apply. *)
+    match
+      ( List.map (fun (n, v) -> (n, int_of n v)) cs,
+        List.map (fun (n, v) -> (n, float_of n v)) gs )
+    with
+    | exception Bad msg -> Error msg
+    | cs, gs ->
+      List.iter (fun (n, v) -> Obs.Counter.add (Obs.Registry.counter reg n) v) cs;
+      List.iter
+        (fun (n, v) ->
+          let g = Obs.Registry.gauge reg n in
+          Obs.Gauge.set g (Float.max (Obs.Gauge.get g) v))
+        gs;
+      Ok ())

@@ -1,0 +1,25 @@
+(** Import a shard's [metrics] wire response — the {!Obs.Export}
+    flat-JSON shape [{"counters":{..},"gauges":{..},"histograms":{..}}]
+    — back into an {!Obs.Registry.t}, so the router can aggregate the
+    fleet with the {e same} associative/commutative merge the rest of
+    the tree uses for worker domains: counters add, gauges keep the
+    maximum.  (Histogram sections carry nested bucket arrays and are
+    skipped: the fleet-level latency story is told by the bench's
+    client-observed percentiles, and summing shard-local histograms
+    would double-count queue effects anyway.)
+
+    This is not a general JSON parser; it understands exactly what
+    {!Obs.Export.stats_json} emits — flat sections of
+    ["name": number] pairs with [[a-z0-9._-]] names — and returns
+    [Error] on anything else, so a garbled shard response is dropped
+    (and counted) instead of poisoning the fleet snapshot. *)
+
+(** Counter section of a snapshot line, sorted by name. *)
+val counters : string -> ((string * int) list, string) result
+
+(** Gauge section, sorted by name. *)
+val gauges : string -> ((string * float) list, string) result
+
+(** [merge_into reg line] folds one shard snapshot into [reg]
+    (counters add, gauges max).  [Error] leaves [reg] untouched. *)
+val merge_into : Obs.Registry.t -> string -> (unit, string) result

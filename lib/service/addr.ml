@@ -1,0 +1,136 @@
+type t =
+  | Unix_path of string
+  | Tcp of string * int
+
+let parse s =
+  if s = "" then Error "empty address"
+  else if String.contains s '/' then Ok (Unix_path s)
+  else
+    match String.rindex_opt s ':' with
+    | None -> Ok (Unix_path s)
+    | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | None -> Ok (Unix_path s)
+      | Some p when p < 0 || p > 65535 ->
+        Error (Printf.sprintf "%s: port %d out of range" s p)
+      | Some p -> Ok (Tcp (host, p)))
+
+let to_string = function
+  | Unix_path path -> path
+  | Tcp (host, port) -> Printf.sprintf "%s:%d" host port
+
+let equal a b =
+  match (a, b) with
+  | Unix_path p, Unix_path q -> String.equal p q
+  | Tcp (h, p), Tcp (h', p') -> String.equal h h' && p = p'
+  | Unix_path _, Tcp _ | Tcp _, Unix_path _ -> false
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+let family = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let sockaddr ?(listening = false) = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) -> (
+    let host = if host = "" then if listening then "0.0.0.0" else "127.0.0.1" else host in
+    match Unix.inet_addr_of_string host with
+    | ip -> Unix.ADDR_INET (ip, port)
+    | exception Failure _ -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ -> Unix.ADDR_INET (ip, port)
+      | _ -> failwith (Printf.sprintf "%s: host does not resolve" host)))
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let set_nodelay t fd =
+  match t with
+  | Tcp _ -> ( try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+  | Unix_path _ -> ()
+
+(* Non-blocking connect under a select deadline: EINPROGRESS, wait for
+   writability, then read the outcome from SO_ERROR.  EINTR during the
+   wait resumes with the remaining time. *)
+let connect_deadline fd sa ~timeout_ms ~name =
+  Unix.set_nonblock fd;
+  let finish () =
+    Unix.clear_nonblock fd;
+    match Unix.getsockopt_error fd with
+    | None -> ()
+    | Some e -> raise (Unix.Unix_error (e, "connect", name))
+  in
+  match Unix.connect fd sa with
+  | () -> Unix.clear_nonblock fd
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) ->
+    let deadline = Unix.gettimeofday () +. (timeout_ms /. 1000.0) in
+    let rec wait () =
+      let left = deadline -. Unix.gettimeofday () in
+      if left <= 0.0 then raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", name))
+      else
+        match Unix.select [] [ fd ] [] left with
+        | _, [], [] -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", name))
+        | _ -> finish ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    in
+    wait ()
+
+let connect ?timeout_ms t =
+  let sa = sockaddr t in
+  let fd = Unix.socket (family t) Unix.SOCK_STREAM 0 in
+  (try
+     (match timeout_ms with
+     | None -> Unix.connect fd sa
+     | Some ms -> connect_deadline fd sa ~timeout_ms:ms ~name:(to_string t));
+     set_nodelay t fd
+   with e ->
+     close_quietly fd;
+     raise e);
+  fd
+
+(* Is some process listening on the Unix socket at [path]?
+   Distinguishes a live daemon (connect succeeds) from a stale file
+   left by a crashed one (ECONNREFUSED). *)
+let unix_socket_live path =
+  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let live =
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () -> true
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
+  in
+  close_quietly probe;
+  live
+
+let reclaim_stale_unix path =
+  match Unix.stat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } ->
+    (* Probe before unlinking: clobbering a live daemon's socket would
+       orphan it silently; only a provably stale file is removed. *)
+    if unix_socket_live path then
+      failwith (Printf.sprintf "%s: a daemon is already listening on this socket" path)
+    else Unix.unlink path
+  | _ -> failwith (Printf.sprintf "%s: exists and is not a socket" path)
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let bind_listen ?(backlog = 64) t =
+  (match t with Unix_path path -> reclaim_stale_unix path | Tcp _ -> ());
+  let fd = Unix.socket (family t) Unix.SOCK_STREAM 0 in
+  try
+    (match t with Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true | Unix_path _ -> ());
+    Unix.bind fd (sockaddr ~listening:true t);
+    Unix.listen fd backlog;
+    let bound =
+      match t with
+      | Unix_path _ -> t
+      | Tcp (host, _) -> (
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, port) -> Tcp ((if host = "" then "0.0.0.0" else host), port)
+        | Unix.ADDR_UNIX _ -> t)
+    in
+    (fd, bound)
+  with e ->
+    close_quietly fd;
+    raise e

@@ -1,0 +1,63 @@
+(** Service endpoint addresses: a Unix domain socket path or a TCP
+    [host:port] endpoint.
+
+    The daemon, client and fleet router all speak the same
+    line-delimited protocol over either transport; this module is the
+    one place that parses, renders, resolves and connects addresses, so
+    "where a peer lives" is a value, not a convention.
+
+    {2 Syntax}
+
+    A string containing a [/] is always a Unix socket path.  Otherwise,
+    a string whose last [:] is followed by a decimal port is a TCP
+    endpoint ([HOST:PORT], e.g. [127.0.0.1:7311] or [:7311] for all
+    interfaces); anything else is a Unix socket path (so bare names
+    like [cecd.sock] keep working). *)
+
+type t =
+  | Unix_path of string  (** Unix domain socket at this path *)
+  | Tcp of string * int  (** TCP [host, port]; port 0 = kernel-assigned *)
+
+(** Parse the syntax above.  [Error] on an empty string or an
+    out-of-range TCP port. *)
+val parse : string -> (t, string) result
+
+(** Renders back to the parsed syntax ([HOST:PORT] or the bare path). *)
+val to_string : t -> string
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** The socket domain to create a socket in for this address. *)
+val family : t -> Unix.socket_domain
+
+(** Resolve to a [Unix.sockaddr].  TCP hosts are resolved with
+    [getaddrinfo] (numeric addresses never require DNS); an empty host
+    means all interfaces for binds and loopback for connects.
+    @raise Failure when the host does not resolve. *)
+val sockaddr : ?listening:bool -> t -> Unix.sockaddr
+
+(** [connect ?timeout_ms t] opens a stream socket connected to [t].
+    Without a timeout this is a plain blocking [Unix.connect].  With
+    one, the connect runs non-blocking under a [select] deadline —
+    a black-holed peer (e.g. a dropped-packet firewall) fails with
+    [Unix.Unix_error (ETIMEDOUT, "connect", _)] after [timeout_ms]
+    instead of blocking for the kernel's minutes-long default.  The
+    returned descriptor is back in blocking mode, with [TCP_NODELAY]
+    set on TCP sockets (the protocol is one-line request/response).
+    EINTR during the wait resumes with the remaining time.
+    @raise Unix.Unix_error as [Unix.connect] does, plus [ETIMEDOUT]. *)
+val connect : ?timeout_ms:float -> t -> Unix.file_descr
+
+(** [bind_listen ?backlog t] binds and listens on [t] and returns the
+    listening descriptor together with the actual bound address — for
+    [Tcp (_, 0)] the kernel-assigned port is read back with
+    [getsockname], so callers learn where they are reachable.  TCP
+    sockets get [SO_REUSEADDR].  A Unix socket path that already
+    exists is probed with a connect before anything is unlinked: a
+    stale file left by a crashed daemon (connect refused) is removed,
+    a live listener is a hard error — clobbering it would silently
+    orphan a running daemon.
+    @raise Unix.Unix_error on bind/listen failure, [Failure] when a
+    Unix path hosts a live listener or is not a socket. *)
+val bind_listen : ?backlog:int -> t -> Unix.file_descr * t

@@ -3,31 +3,34 @@ type config = {
   base_delay_ms : float;
   seed : int;
   sleep : float -> unit;
+  connect_timeout_ms : float option;
 }
 
-let default_config = { retries = 4; base_delay_ms = 25.0; seed = 0; sleep = Unix.sleepf }
+let default_config =
+  { retries = 4; base_delay_ms = 25.0; seed = 0; sleep = Unix.sleepf; connect_timeout_ms = None }
 
-(* One attempt: connect, send, read one response line.  [Error (retry,
-   msg)] tags whether the failure is worth retrying. *)
-let attempt ~socket_path line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+(* One attempt: connect, send, read one response line.  [Error
+   (transient, msg)] tags whether the failure is worth retrying. *)
+let attempt ?(config = default_config) addr line =
+  let name = Addr.to_string addr in
+  match Addr.connect ?timeout_ms:config.connect_timeout_ms addr with
   | exception Unix.Unix_error (e, _, _) ->
-    close ();
-    let transient = match e with Unix.ECONNREFUSED | Unix.ENOENT -> true | _ -> false in
-    Error (transient, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
-  | () -> (
+    let transient =
+      match e with Unix.ECONNREFUSED | Unix.ENOENT | Unix.ETIMEDOUT -> true | _ -> false
+    in
+    Error (transient, Printf.sprintf "%s: %s" name (Unix.error_message e))
+  | fd -> (
+    let close () = try Unix.close fd with Unix.Unix_error _ -> () in
     match
       Wire.write_line fd line;
       Wire.read_line fd
     with
     | exception Unix.Unix_error (((Unix.EPIPE | Unix.ECONNRESET) as e), _, _) ->
       close ();
-      Error (true, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+      Error (true, Printf.sprintf "%s: %s" name (Unix.error_message e))
     | exception Unix.Unix_error (e, _, _) ->
       close ();
-      Error (false, Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
+      Error (false, Printf.sprintf "%s: %s" name (Unix.error_message e))
     | Error msg ->
       close ();
       (* EOF before a response: the daemon died between accept and
@@ -36,12 +39,17 @@ let attempt ~socket_path line =
     | Ok response ->
       close ();
       if Protocol.field "error" response = Some "queue full" then Error (true, "queue full")
+      else if Protocol.field "code" response = Some "overloaded" then
+        Error (true, "overloaded")
       else Ok response)
 
-let request ?(config = default_config) ~socket_path line =
+let request_to ?(config = default_config) addrs line =
+  let n = List.length addrs in
+  if n = 0 then invalid_arg "Client.request_to: empty address list";
+  let addr k = List.nth addrs (k mod n) in
   let rng = Support.Rng.create config.seed in
   let rec go k =
-    match attempt ~socket_path line with
+    match attempt ~config (addr k) line with
     | Ok response -> Ok response
     | Error (transient, msg) ->
       if (not transient) || k >= max 0 config.retries then Error msg
@@ -53,3 +61,5 @@ let request ?(config = default_config) ~socket_path line =
       end
   in
   go 0
+
+let request ?config ~socket_path line = request_to ?config [ Addr.Unix_path socket_path ] line

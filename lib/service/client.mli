@@ -5,27 +5,55 @@
     turns transient conditions into hard failures.  [request] retries
     with exponential backoff on exactly the transient errors —
     [ECONNREFUSED] (daemon not yet listening or just died), [ENOENT]
-    (socket file not created yet), [EPIPE]/[ECONNRESET] (daemon went
-    away mid-exchange), an EOF before any response byte, and the
-    server's [queue full] bounce — and fails fast on everything else
-    (a malformed request will not become less malformed by retrying).
+    (socket file not created yet), [ETIMEDOUT] (connect timeout against
+    a black-holed peer), [EPIPE]/[ECONNRESET] (daemon went away
+    mid-exchange), an EOF before any response byte, and the server's
+    [queue full] / [overloaded] bounces — and fails fast on everything
+    else (a malformed request will not become less malformed by
+    retrying).
 
     Backoff for attempt [k] (0-based) is [base_delay_ms * 2^k],
     multiplied by a deterministic jitter in [0.5, 1.5) drawn from a
     seeded {!Support.Rng} stream, so a herd of replaying clients
-    decorrelates without making test runs flaky. *)
+    decorrelates without making test runs flaky.
+
+    Both transports of {!Addr} are supported; {!request_to} with a list
+    of addresses additionally fails over across replicas: each attempt
+    rotates to the next address, so a dead primary costs one backoff
+    step, not the whole retry budget. *)
 
 type config = {
   retries : int;  (** additional attempts after the first (min 0) *)
   base_delay_ms : float;  (** backoff unit for the first retry *)
   seed : int;  (** jitter stream seed *)
   sleep : float -> unit;  (** injectable for tests (default [Unix.sleepf]) *)
+  connect_timeout_ms : float option;
+      (** bound on each connect attempt; [None] (the default) blocks on
+          the kernel's own connect timeout.  A TCP connect to a
+          black-holed host can otherwise stall for minutes, so anything
+          probing remote shards should set this. *)
 }
 
-(** 4 retries, 25ms base delay — worst-case wait ~1.5s total. *)
+(** 4 retries, 25ms base delay — worst-case wait ~1.5s total; no
+    connect timeout. *)
 val default_config : config
 
-(** Send one request line, retrying transient failures per the policy
-    above.  [Ok response] on the first success; [Error msg] carries the
-    last failure once the attempts are exhausted. *)
+(** One attempt against one address: connect (with the configured
+    timeout), send, read one response line.  [Error (transient, msg)]
+    tags whether the failure is worth retrying.  The building block of
+    {!request_to}; exposed for callers (the fleet router) that own
+    their retry policy. *)
+val attempt : ?config:config -> Addr.t -> string -> (string, bool * string) result
+
+(** Send one request line to the first address that answers, retrying
+    transient failures per the policy above and rotating through the
+    addresses round-robin (attempt [k] goes to address [k mod N]).
+    [Ok response] on the first success; [Error msg] carries the last
+    failure once the attempts are exhausted.
+    @raise Invalid_argument on an empty address list. *)
+val request_to : ?config:config -> Addr.t list -> string -> (string, string) result
+
+(** [request ~socket_path line] is [request_to [Addr.Unix_path
+    socket_path] line] — the pre-fleet interface, kept because almost
+    every local caller talks to exactly one Unix-socket daemon. *)
 val request : ?config:config -> socket_path:string -> string -> (string, string) result

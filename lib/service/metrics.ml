@@ -82,6 +82,8 @@ let registry t = t.reg
 
 let with_lock t f = Mutex.protect t.lock f
 
+let merge_registry_into t ~into = with_lock t (fun () -> Obs.Registry.merge_into ~into t.reg)
+
 let incr_requests t = with_lock t (fun () -> Obs.Counter.incr t.requests)
 
 let record t outcome ~cached ~ms =

@@ -50,6 +50,11 @@ val of_registry : Obs.Registry.t -> t
 (** The backing registry (for the exporters). *)
 val registry : t -> Obs.Registry.t
 
+(** Fold the live counters into [into] under the metrics lock — the
+    safe way to snapshot the registry while workers are recording
+    (used by the daemon's [metrics] wire request). *)
+val merge_registry_into : t -> into:Obs.Registry.t -> unit
+
 val incr_requests : t -> unit
 
 (** Record a completed check request: its outcome, whether it was

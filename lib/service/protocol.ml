@@ -107,6 +107,7 @@ type request =
       timeout_ms : int option;
     }
   | Stats
+  | Metrics
   | Ping
   | Shutdown
 
@@ -116,6 +117,7 @@ let parse_request line =
   in
   match words with
   | [ "stats" ] -> Ok Stats
+  | [ "metrics" ] -> Ok Metrics
   | [ "ping" ] -> Ok Ping
   | [ "shutdown" ] -> Ok Shutdown
   | "check" :: golden :: revised :: rest -> (
@@ -127,11 +129,12 @@ let parse_request line =
       | Some _ | None -> Error (Printf.sprintf "check: bad timeout %S" ms))
     | _ -> Error "check: too many arguments (check GOLDEN REVISED [TIMEOUT_MS])")
   | "check" :: _ -> Error "check: expected two netlist paths"
-  | cmd :: _ -> Error (Printf.sprintf "unknown request %S (check|stats|ping|shutdown)" cmd)
+  | cmd :: _ -> Error (Printf.sprintf "unknown request %S (check|stats|metrics|ping|shutdown)" cmd)
   | [] -> Error "empty request"
 
 let print_request = function
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
   | Check { golden; revised; timeout_ms } -> (

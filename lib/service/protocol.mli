@@ -8,6 +8,10 @@
     {v
     check GOLDEN REVISED [TIMEOUT_MS]    decide a pair (netlist paths)
     stats                                metrics + store counters as JSON
+    metrics                              full observability registry as
+                                         nested flat JSON (the {!Obs}
+                                         export shape; mergeable by the
+                                         fleet router)
     ping                                 liveness probe
     shutdown                             drain the queue and exit
     v}
@@ -47,6 +51,7 @@ type request =
       timeout_ms : int option;
     }
   | Stats
+  | Metrics
   | Ping
   | Shutdown
 

@@ -2,7 +2,7 @@ module Cec = Cec_core.Cec
 module P = Protocol
 
 type config = {
-  socket_path : string;
+  listen : Addr.t list;
   store_dir : string;
   store_capacity : int option;
   paranoid : bool;
@@ -14,11 +14,12 @@ type config = {
   clock : unit -> float;
   stats_out : string option;
   trace_out : string option;
+  on_listen : Addr.t list -> unit;
 }
 
 let default_config ~socket_path ~store_dir =
   {
-    socket_path;
+    listen = [ Addr.Unix_path socket_path ];
     store_dir;
     store_capacity = None;
     paranoid = true;
@@ -30,6 +31,7 @@ let default_config ~socket_path ~store_dir =
     clock = Unix.gettimeofday;
     stats_out = None;
     trace_out = None;
+    on_listen = ignore;
   }
 
 (* One accepted [check] request, parked on the bounded queue.  The
@@ -228,6 +230,30 @@ let supervised_worker st =
 let stats_response st =
   P.to_json (Metrics.fields (Metrics.snapshot st.metrics) @ Store.fields (Store.stats st.store))
 
+(* Full observability snapshot, as one line of the {!Obs.Export} flat
+   JSON shape.  The fleet router polls this and folds shard snapshots
+   together with the associative [Obs] merge, so everything exported
+   here must be meaningfully summable across shards: service.* request
+   counters and latency histograms are, and the store counters are
+   exported as counters too (shard stores are disjoint, so entry/byte
+   totals across the fleet are sums). *)
+let metrics_response st =
+  let reg = Obs.Registry.create () in
+  Metrics.merge_registry_into st.metrics ~into:reg;
+  let s = Store.stats st.store in
+  List.iter
+    (fun (name, value) ->
+      Obs.Counter.add (Obs.Registry.counter reg ("service." ^ name)) value)
+    [
+      ("store_entries", s.Store.entries);
+      ("store_bytes", s.Store.bytes);
+      ("store_stores", s.Store.stores);
+      ("store_evictions", s.Store.evictions);
+      ("store_corrupt", s.Store.corrupt);
+      ("store_write_failures", s.Store.write_failures);
+    ];
+  String.trim (Obs.Export.stats_json reg)
+
 (* Parse and dispatch one connection's request.  Everything answerable
    without solving is answered inline; [check] jobs go to the queue,
    which then owns the connection. *)
@@ -251,6 +277,9 @@ let handle_connection st fd =
       close_quietly fd
     | Ok P.Stats ->
       send fd (stats_response st);
+      close_quietly fd
+    | Ok P.Metrics ->
+      send fd (metrics_response st);
       close_quietly fd
     | Ok P.Shutdown ->
       log st "shutdown requested, draining";
@@ -281,7 +310,7 @@ let handle_connection st fd =
           if Queue.length st.queue >= max 1 st.cfg.queue_capacity then begin
             Mutex.unlock st.lock;
             Metrics.record_rejected st.metrics;
-            send fd (P.error_response "queue full");
+            send fd (P.error_response ~code:"queue_full" "queue full");
             close_quietly fd
           end
           else begin
@@ -293,37 +322,10 @@ let handle_connection st fd =
 
 (* --- life cycle --- *)
 
-(* Is some process listening on the socket at [path]?  Distinguishes a
-   live daemon (connect succeeds) from a stale file left by a crashed
-   one (ECONNREFUSED). *)
-let socket_live path =
-  let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  let live =
-    match Unix.connect probe (Unix.ADDR_UNIX path) with
-    | () -> true
-    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> false
-  in
-  close_quietly probe;
-  live
-
-let bind_socket path =
-  (match Unix.stat path with
-  | { Unix.st_kind = Unix.S_SOCK; _ } ->
-    (* Probe before unlinking: clobbering a live daemon's socket would
-       orphan it silently; only a provably stale file is removed. *)
-    if socket_live path then
-      failwith (Printf.sprintf "%s: a daemon is already listening on this socket" path)
-    else Unix.unlink path
-  | _ -> failwith (Printf.sprintf "%s: exists and is not a socket" path)
-  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try
-     Unix.bind fd (Unix.ADDR_UNIX path);
-     Unix.listen fd 64
-   with e ->
-     close_quietly fd;
-     raise e);
-  fd
+(* {!Addr.bind_listen} probes stale Unix sockets before unlinking
+   (a live daemon is a hard error) and reports the kernel-assigned
+   port back for TCP port-0 binds. *)
+let bind_addr addr = Addr.bind_listen addr
 
 let run cfg =
   let store =
@@ -341,7 +343,23 @@ let run cfg =
       stop = Atomic.make false;
     }
   in
-  let listen_fd = bind_socket cfg.socket_path in
+  if cfg.listen = [] then invalid_arg "Server.run: empty listen list";
+  (* Bind everything before serving anything: a half-bound daemon that
+     already answers on one endpoint but will die on the next bind
+     would look like a flapping shard to the router. *)
+  let listeners =
+    List.fold_left
+      (fun bound addr ->
+        match bind_addr addr with
+        | fd_addr -> fd_addr :: bound
+        | exception e ->
+          List.iter (fun (fd, _) -> close_quietly fd) bound;
+          raise e)
+      [] cfg.listen
+    |> List.rev
+  in
+  let listen_fds = List.map fst listeners in
+  cfg.on_listen (List.map snd listeners);
   let request_stop _ = Atomic.set st.stop true in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
@@ -355,23 +373,41 @@ let run cfg =
     Array.init (max 1 cfg.workers) (fun i ->
         Domain.spawn (fun () -> Obs.with_ambient worker_regs.(i) (fun () -> supervised_worker st)))
   in
-  log st "listening on %s (store %s, %d worker(s))" cfg.socket_path cfg.store_dir
-    (Array.length workers);
+  log st "listening on %s (store %s, %d worker(s))"
+    (String.concat ", " (List.map (fun (_, a) -> Addr.to_string a) listeners))
+    cfg.store_dir (Array.length workers);
+  (* The accept loop must survive signals: SIGINT/SIGTERM land here
+     (the handler only flips [stop], so select/accept resume with
+     EINTR), and an aborted handshake surfaces as ECONNABORTED —
+     neither may kill the daemon.  Handled uniformly for every
+     listening descriptor. *)
   while not (Atomic.get st.stop) do
-    match Unix.select [ listen_fd ] [] [] 0.1 with
+    match Unix.select listen_fds [] [] 0.1 with
     | [], _, _ -> ()
-    | _ -> (
-      match Unix.accept listen_fd with
-      | fd, _ -> (
-        try handle_connection st fd
-        with e ->
-          Metrics.record_error st.metrics;
-          send fd (P.error_response (Printexc.to_string e));
-          close_quietly fd)
-      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ())
+    | ready, _, _ ->
+      List.iter
+        (fun (listen_fd, addr) ->
+          if List.memq listen_fd ready then
+            match Unix.accept listen_fd with
+            | fd, _ -> (
+              (match addr with
+              | Addr.Tcp _ -> (
+                (* One-line request/response: never wait on Nagle. *)
+                try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ())
+              | Addr.Unix_path _ -> ());
+              try handle_connection st fd
+              with e ->
+                Metrics.record_error st.metrics;
+                send fd (P.error_response (Printexc.to_string e));
+                close_quietly fd)
+            | exception
+                Unix.Unix_error
+                  ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _) ->
+              ())
+        listeners
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
-  close_quietly listen_fd;
+  List.iter close_quietly listen_fds;
   (* Drain: workers finish every queued job, then exit. *)
   Mutex.lock st.lock;
   st.draining <- true;
@@ -384,7 +420,11 @@ let run cfg =
   Option.iter (fun path -> write_file path (Obs.Export.stats_json reg)) cfg.stats_out;
   Option.iter (fun path -> write_file path (Obs.Export.trace_json reg)) cfg.trace_out;
   Store.flush store;
-  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  List.iter
+    (function
+      | _, Addr.Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _, Addr.Tcp _ -> ())
+    listeners;
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigpipe old_pipe;
@@ -396,16 +436,16 @@ let run cfg =
   end;
   (snapshot, store_stats)
 
-let request ~socket_path line =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  match Unix.connect fd (Unix.ADDR_UNIX socket_path) with
+let request_addr addr line =
+  match Addr.connect addr with
   | exception Unix.Unix_error (e, _, _) ->
-    close_quietly fd;
-    Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message e))
-  | () ->
+    Error (Printf.sprintf "%s: %s" (Addr.to_string addr) (Unix.error_message e))
+  | fd ->
     let result =
       send fd line;
       read_line_fd fd
     in
     close_quietly fd;
     result
+
+let request ~socket_path line = request_addr (Addr.Unix_path socket_path) line

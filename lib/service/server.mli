@@ -1,16 +1,21 @@
-(** The certification daemon: a Unix-domain-socket server that answers
+(** The certification daemon: a stream-socket server that answers
     {!Protocol} requests from a persistent {!Store}, solving misses on
-    the {!Engine} (and thus the {!Cec_core.Parallel} domain pool).
+    the {!Engine} (and thus the {!Cec_core.Parallel} domain pool).  It
+    listens on any mix of {!Addr} endpoints — Unix domain sockets for
+    a local daemon, TCP for a fleet shard behind the router.
 
     {2 Life cycle}
 
-    [run] binds the socket, spawns the worker domains and enters the
-    accept loop.  Each connection carries exactly one request; [check]
-    requests are parsed, normalized and keyed by the accept loop, then
-    pushed onto a {e bounded} queue — a full queue bounces the request
-    immediately with an error response (backpressure) instead of
-    letting latency grow without bound.  Worker domains pop jobs,
-    consult the store, solve misses, persist the verdict and reply.
+    [run] binds every listen address, spawns the worker domains and
+    enters the accept loop (a [select] over all listening descriptors,
+    EINTR-safe — signals during [select]/[accept] retry instead of
+    killing the daemon).  Each connection carries exactly one request;
+    [check] requests are parsed, normalized and keyed by the accept
+    loop, then pushed onto a {e bounded} queue — a full queue bounces
+    the request immediately with a typed [queue_full] error response
+    (backpressure) instead of letting latency grow without bound.
+    Worker domains pop jobs, consult the store, solve misses, persist
+    the verdict and reply.
 
     A request's deadline (its [TIMEOUT_MS], or the configured default)
     travels with the job: a job whose deadline expired while queued is
@@ -19,9 +24,9 @@
 
     On SIGINT/SIGTERM — or a [shutdown] request — the server stops
     accepting, {e drains} the queue (every accepted request is still
-    answered), joins the workers, persists the store index, removes the
-    socket, and returns the final metrics.  When [log] is set the
-    metrics and store counters are also printed to stderr.
+    answered), joins the workers, persists the store index, removes its
+    Unix socket files, and returns the final metrics.  When [log] is
+    set the metrics and store counters are also printed to stderr.
 
     {2 Failure behaviour}
 
@@ -38,7 +43,7 @@
     is listening, and the store runs {!Store.fsck} before serving. *)
 
 type config = {
-  socket_path : string;
+  listen : Addr.t list;  (** endpoints to serve on (at least one) *)
   store_dir : string;
   store_capacity : int option;  (** store byte cap ([None] unbounded) *)
   paranoid : bool;  (** re-validate certificates before serving *)
@@ -58,22 +63,36 @@ type config = {
           shutdown *)
   trace_out : string option;
       (** write {!Obs.Export.trace_json} here at shutdown *)
+  on_listen : Addr.t list -> unit;
+      (** called once from the server's own context after every listen
+          address is bound, with the {e actual} addresses — a TCP
+          listen on port 0 reports the kernel-assigned port, which is
+          how tests and the bench find an ephemeral shard.  Default
+          [ignore]. *)
 }
 
 (** One worker, queue of 64, paranoid, unbounded store, no default
-    deadline, [Engine.default_config], logging on. *)
+    deadline, [Engine.default_config], logging on, listening on the
+    given Unix socket only. *)
 val default_config : socket_path:string -> store_dir:string -> config
 
 (** Run until shutdown; returns the final request metrics and store
-    counters.  @raise Unix.Unix_error when the socket cannot be bound,
-    [Failure] when [socket_path] exists and is not a socket. *)
+    counters.  @raise Unix.Unix_error when a listen address cannot be
+    bound, [Failure] when a Unix socket path exists and is not a
+    socket (or a live daemon already listens on it), [Invalid_argument]
+    when [listen] is empty. *)
 val run : config -> Metrics.snapshot * Store.stats
 
-(** Client side: send one request line over the socket, return the
+(** Client side: send one request line to an address, return the
     one-line response.  [Error] covers connection failures and a
-    server that closed without replying. *)
+    server that closed without replying.  One shot — see {!Client} for
+    the retrying/failover version. *)
+val request_addr : Addr.t -> string -> (string, string) result
+
+(** [request ~socket_path] is {!request_addr} on a Unix socket path. *)
 val request : socket_path:string -> string -> (string, string) result
 
 (** Read a netlist by extension ([.blif] → BLIF, anything else →
-    AIGER); shared with {!Batch} and the CLI. *)
+    AIGER); shared with {!Batch}, the fleet {!Fleet.Router} and the
+    CLI. *)
 val load_netlist : string -> (Aig.t, string) result

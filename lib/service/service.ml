@@ -5,6 +5,7 @@
     [Service.Batch] the socketless batch mode, [Service.Engine] the
     deadline/escalation solve loop over {!Cec_core.Parallel}. *)
 
+module Addr = Addr
 module Key = Key
 module Protocol = Protocol
 module Wire = Wire

@@ -366,6 +366,7 @@ let test_client_retries_with_backoff () =
           base_delay_ms = 8.0;
           seed = 1;
           sleep = (fun s -> sleeps := s :: !sleeps);
+          connect_timeout_ms = None;
         }
       in
       (match Client.request ~config ~socket_path "ping" with
@@ -386,7 +387,13 @@ let test_client_missing_socket_transient () =
   (* ENOENT (daemon not started yet) is also transient. *)
   let sleeps = ref 0 in
   let config =
-    { Client.retries = 2; base_delay_ms = 1.0; seed = 0; sleep = (fun _ -> incr sleeps) }
+    {
+      Client.retries = 2;
+      base_delay_ms = 1.0;
+      seed = 0;
+      sleep = (fun _ -> incr sleeps);
+      connect_timeout_ms = None;
+    }
   in
   (match Client.request ~config ~socket_path:"/nonexistent/cecd.sock" "ping" with
   | Ok _ -> Alcotest.fail "must fail"

@@ -1,0 +1,510 @@
+(* The fleet layer: consistent-hash ring properties (balance and
+   monotonicity, as qcheck properties), address parsing, bounded
+   connects, admission control, health tracking, snapshot merging, and
+   a full loopback fleet — three TCP shards behind the router, one
+   killed mid-run — with every certificate re-verified by the
+   streaming checker. *)
+
+module Cec = Cec_core.Cec
+module Sweep = Cec_core.Sweep
+module Certify = Cec_core.Certify
+module Addr = Service.Addr
+module Key = Service.Key
+module Protocol = Service.Protocol
+module Server = Service.Server
+module Store = Service.Store
+module Ring = Fleet.Ring
+module Health = Fleet.Health
+module Admission = Fleet.Admission
+module Snapshot = Fleet.Snapshot
+module Router = Fleet.Router
+
+let qtest ?(count = 200) name arb prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+(* --- ring --- *)
+
+let test_ring_basics () =
+  let ring = Ring.create [ "s0"; "s1"; "s2" ] in
+  Alcotest.(check (list string)) "shards sorted" [ "s0"; "s1"; "s2" ] (Ring.shards ring);
+  Alcotest.(check int) "vnodes default" Ring.default_vnodes (Ring.vnodes ring);
+  (match Ring.lookup ~n:2 ring "some-key" with
+  | [ a; b ] ->
+    Alcotest.(check bool) "replicas distinct" true (a <> b);
+    Alcotest.(check (option string)) "primary is owner" (Some a) (Ring.owner ring "some-key")
+  | other -> Alcotest.failf "expected 2 replicas, got %d" (List.length other));
+  Alcotest.(check (list string))
+    "n beyond shard count saturates" (Ring.shards ring)
+    (List.sort compare (Ring.lookup ~n:10 ring "some-key"));
+  (* Deterministic: same ring value, same answer. *)
+  Alcotest.(check (list string))
+    "lookup deterministic" (Ring.lookup ~n:3 ring "k") (Ring.lookup ~n:3 ring "k");
+  (* Rejections. *)
+  List.iter
+    (fun ids ->
+      match Ring.create ids with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "ring accepted %s" (String.concat "," ids))
+    [ []; [ "dup"; "dup" ]; [ "" ] ]
+
+let test_ring_balance () =
+  (* Deterministic balance check: many keys over 8 shards must spread
+     within a loose factor of fair share (the ring hash is fixed, so
+     this cannot flake). *)
+  let shards = List.init 8 (fun i -> Printf.sprintf "shard-%d" i) in
+  let ring = Ring.create shards in
+  let keys = 4000 in
+  let counts = Hashtbl.create 8 in
+  for i = 0 to keys - 1 do
+    match Ring.owner ring (Printf.sprintf "key-%d" i) with
+    | Some s -> Hashtbl.replace counts s (1 + Option.value ~default:0 (Hashtbl.find_opt counts s))
+    | None -> Alcotest.fail "owner on a non-empty ring"
+  done;
+  let fair = keys / 8 in
+  List.iter
+    (fun s ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt counts s) in
+      if n < fair / 3 || n > fair * 3 then
+        Alcotest.failf "shard %s owns %d keys (fair share %d)" s n fair)
+    shards
+
+let arb_key = QCheck.(string_gen_of_size (Gen.int_range 1 24) Gen.printable)
+
+let ring_monotonic_add =
+  qtest "ring: adding a shard only moves keys to it" arb_key (fun key ->
+      let before = Ring.create [ "a"; "b"; "c"; "d"; "e" ] in
+      let after = Ring.add before "f" in
+      match (Ring.owner before key, Ring.owner after key) with
+      | Some o, Some o' -> o' = o || o' = "f"
+      | _ -> false)
+
+let ring_monotonic_remove =
+  qtest "ring: removing a shard only moves its own keys" arb_key (fun key ->
+      let before = Ring.create [ "a"; "b"; "c"; "d"; "e" ] in
+      let after = Ring.remove before "c" in
+      match (Ring.owner before key, Ring.owner after key) with
+      | Some "c", Some o' -> o' <> "c"
+      | Some o, Some o' -> o' = o
+      | _ -> false)
+
+let ring_replicas_distinct =
+  qtest "ring: replica sets are distinct and stable under add" arb_key (fun key ->
+      let ring = Ring.create [ "a"; "b"; "c"; "d" ] in
+      let reps = Ring.lookup ~n:3 ring key in
+      List.length reps = 3 && List.length (List.sort_uniq compare reps) = 3)
+
+let test_ring_movement_fraction () =
+  (* Growing 8 -> 9 shards should move roughly 1/9th of the keys; a
+     bound of 1/3 leaves lots of room for vnode placement noise while
+     still catching a modulo-style rehash (which moves ~8/9). *)
+  let shards = List.init 8 (fun i -> Printf.sprintf "shard-%d" i) in
+  let before = Ring.create shards in
+  let after = Ring.add before "shard-8" in
+  let keys = 3000 in
+  let moved = ref 0 in
+  for i = 0 to keys - 1 do
+    let key = Printf.sprintf "key-%d" i in
+    if Ring.owner before key <> Ring.owner after key then incr moved
+  done;
+  if !moved = 0 then Alcotest.fail "no key moved at all";
+  if !moved > keys / 3 then
+    Alcotest.failf "%d of %d keys moved on one join (expected ~%d)" !moved keys (keys / 9)
+
+(* --- addresses --- *)
+
+let test_addr_parse () =
+  let ok spec expected =
+    match Addr.parse spec with
+    | Ok a when Addr.equal a expected -> ()
+    | Ok a -> Alcotest.failf "%S parsed to %s" spec (Addr.to_string a)
+    | Error msg -> Alcotest.failf "%S rejected: %s" spec msg
+  in
+  ok "/tmp/cecd.sock" (Addr.Unix_path "/tmp/cecd.sock");
+  ok "cecd.sock" (Addr.Unix_path "cecd.sock");
+  ok "127.0.0.1:7311" (Addr.Tcp ("127.0.0.1", 7311));
+  ok ":7311" (Addr.Tcp ("", 7311));
+  ok "localhost:0" (Addr.Tcp ("localhost", 0));
+  (* A path containing '/' is never TCP, digits or not. *)
+  ok "/var/run/cecd:1.sock" (Addr.Unix_path "/var/run/cecd:1.sock");
+  List.iter
+    (fun spec ->
+      match Addr.parse spec with
+      | Ok a -> Alcotest.failf "%S accepted as %s" spec (Addr.to_string a)
+      | Error _ -> ())
+    [ ""; "host:99999"; "host:-1" ];
+  List.iter
+    (fun spec ->
+      match Addr.parse spec with
+      | Ok a -> Alcotest.(check string) "round-trips" spec (Addr.to_string a)
+      | Error msg -> Alcotest.failf "%S rejected: %s" spec msg)
+    [ "/tmp/x.sock"; "127.0.0.1:7311"; ":7311" ]
+
+let test_connect_timeout () =
+  (* A true black-holed peer cannot be simulated hermetically (CI
+     sandboxes may proxy or reject any address), so the deadline path
+     is pinned from both reachable sides: a connect that completes must
+     hand back a *blocking* descriptor that works, and a refused
+     connect must surface as an error within a bound far under the
+     kernel's minutes-long own timeout. *)
+  let lfd, addr = Addr.bind_listen (Addr.Tcp ("127.0.0.1", 0)) in
+  Fun.protect ~finally:(fun () -> Unix.close lfd) (fun () ->
+      let fd = Addr.connect ~timeout_ms:500. addr in
+      Fun.protect ~finally:(fun () -> Unix.close fd) (fun () ->
+          let peer, _ = Unix.accept lfd in
+          Fun.protect ~finally:(fun () -> Unix.close peer) (fun () ->
+              (* The socket must be back in blocking mode: a one-line
+                 exchange round-trips. *)
+              Service.Wire.write_line fd "ping-bytes";
+              match Service.Wire.read_line peer with
+              | Ok "ping-bytes" -> ()
+              | Ok other -> Alcotest.failf "garbled line %S" other
+              | Error msg -> Alcotest.fail msg)));
+  let port = match addr with Addr.Tcp (_, p) -> p | _ -> Alcotest.fail "tcp addr" in
+  let started = Unix.gettimeofday () in
+  (match Addr.connect ~timeout_ms:200. (Addr.Tcp ("127.0.0.1", port)) with
+  | fd ->
+    Unix.close fd;
+    Alcotest.fail "connect to a closed listener succeeded"
+  | exception Unix.Unix_error _ -> ());
+  let elapsed = Unix.gettimeofday () -. started in
+  if elapsed > 5.0 then Alcotest.failf "connect took %.1fs despite a 200ms timeout" elapsed;
+  (* And the retrying client honours the configured bound end to end:
+     a dead Unix socket fails fast instead of hanging. *)
+  let config =
+    {
+      Service.Client.default_config with
+      Service.Client.retries = 1;
+      base_delay_ms = 1.;
+      connect_timeout_ms = Some 200.;
+    }
+  in
+  match Service.Client.request_to ~config [ Addr.Unix_path "/nonexistent/cecd.sock" ] "ping" with
+  | Ok _ -> Alcotest.fail "request to a nonexistent socket succeeded"
+  | Error _ -> ()
+
+(* --- admission and health --- *)
+
+let test_admission () =
+  let adm = Admission.create ~capacity:2 in
+  Alcotest.(check bool) "slot 1" true (Admission.try_acquire adm);
+  Alcotest.(check bool) "slot 2" true (Admission.try_acquire adm);
+  Alcotest.(check bool) "cap reached" false (Admission.try_acquire adm);
+  Alcotest.(check int) "in flight" 2 (Admission.in_flight adm);
+  Admission.release adm;
+  Alcotest.(check bool) "slot freed" true (Admission.try_acquire adm);
+  Admission.release adm;
+  Admission.release adm;
+  (match Admission.release adm with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double release accepted");
+  Alcotest.(check (option int)) "with_slot runs" (Some 7) (Admission.with_slot adm (fun () -> 7));
+  Alcotest.(check int) "with_slot releases" 0 (Admission.in_flight adm)
+
+let test_health () =
+  let h = Health.create ~failure_threshold:2 () in
+  Alcotest.(check bool) "starts up" true (Health.up h);
+  Alcotest.(check bool) "first failure tolerated" false (Health.record_failure h);
+  Alcotest.(check bool) "still up" true (Health.up h);
+  Alcotest.(check bool) "second failure transitions" true (Health.record_failure h);
+  Alcotest.(check bool) "down" false (Health.up h);
+  Alcotest.(check bool) "third failure is not a transition" false (Health.record_failure h);
+  Alcotest.(check bool) "success transitions back" true (Health.record_success h);
+  Alcotest.(check bool) "up again" true (Health.up h);
+  Alcotest.(check bool) "success while up is quiet" false (Health.record_success h)
+
+(* --- snapshot import --- *)
+
+let test_snapshot_merge () =
+  let shard = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter shard "service.proved") 3;
+  Obs.Counter.add (Obs.Registry.counter shard "service.requests") 5;
+  Obs.Gauge.set (Obs.Registry.gauge shard "service.uptime_s") 12.5;
+  let line = Obs.Export.stats_json shard in
+  let into = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter into "service.proved") 2;
+  Obs.Gauge.set (Obs.Registry.gauge into "service.uptime_s") 20.0;
+  (match Snapshot.merge_into into line with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "merge rejected a real export: %s" msg);
+  Alcotest.(check int) "counters add" 5
+    (Obs.Counter.get (Obs.Registry.counter into "service.proved"));
+  Alcotest.(check int) "new counters appear" 5
+    (Obs.Counter.get (Obs.Registry.counter into "service.requests"));
+  Alcotest.(check (float 1e-9)) "gauges keep the max" 20.0
+    (Obs.Gauge.get (Obs.Registry.gauge into "service.uptime_s"));
+  (* Merging two shard snapshots is associative with the Obs merge:
+     importing A then B equals importing B then A. *)
+  let other = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter other "service.proved") 7;
+  let line2 = Obs.Export.stats_json other in
+  let ab = Obs.Registry.create () and ba = Obs.Registry.create () in
+  List.iter (fun l -> Result.get_ok (Snapshot.merge_into ab l)) [ line; line2 ];
+  List.iter (fun l -> Result.get_ok (Snapshot.merge_into ba l)) [ line2; line ];
+  Alcotest.(check int) "import order does not matter"
+    (Obs.Counter.get (Obs.Registry.counter ab "service.proved"))
+    (Obs.Counter.get (Obs.Registry.counter ba "service.proved"))
+
+let test_snapshot_rejects_garbage () =
+  let into = Obs.Registry.create () in
+  Obs.Counter.add (Obs.Registry.counter into "kept") 1;
+  List.iter
+    (fun line ->
+      match Snapshot.merge_into into line with
+      | Error _ -> ()
+      | Ok () -> Alcotest.failf "accepted %S" line)
+    [
+      "";
+      "{}";
+      "nonsense";
+      "{\"counters\":{\"a\":}}";
+      "{\"counters\":{\"a\":1}";
+      "{\"counters\":{\"UPPER\":1},\"gauges\":{}}";
+      "{\"counters\":{\"a\":1,\"b\":nope},\"gauges\":{}}";
+    ];
+  Alcotest.(check int) "failed merges leave the registry untouched" 1
+    (Obs.Counter.get (Obs.Registry.counter into "kept"))
+
+(* --- the loopback fleet, end to end --- *)
+
+let temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+    Unix.rmdir path
+  | _ -> Sys.remove path
+
+(* Capture the kernel-assigned address of a port-0 listener. *)
+let addr_cell () =
+  let cell = Atomic.make None in
+  (cell, fun addr -> Atomic.set cell (Some addr))
+
+let await_addr cell =
+  let rec go n =
+    if n = 0 then Alcotest.fail "listener did not report its address"
+    else
+      match Atomic.get cell with
+      | Some addr -> addr
+      | None ->
+        Unix.sleepf 0.02;
+        go (n - 1)
+  in
+  go 500
+
+let request_exn addr line =
+  match Server.request_addr addr line with
+  | Ok response -> response
+  | Error msg -> Alcotest.failf "request %S to %s failed: %s" line (Addr.to_string addr) msg
+
+let field_exn name line =
+  match Protocol.field name line with
+  | Some v -> v
+  | None -> Alcotest.failf "response %s lacks %S" line name
+
+let await ~pred ~what =
+  let rec go n =
+    if n = 0 then Alcotest.failf "timed out waiting for %s" what
+    else if pred () then ()
+    else begin
+      Unix.sleepf 0.05;
+      go (n - 1)
+    end
+  in
+  go 200
+
+(* Three normalized pairs with known verdicts and distinct keys. *)
+let fleet_pairs () =
+  let eq1_g = Key.normalize (Circuits.Adder.ripple_carry 4) in
+  let eq1_r = Key.normalize (Circuits.Adder.carry_lookahead 4) in
+  let eq2_g = Key.normalize (Circuits.Datapath.parity 8) in
+  let eq2_r = Key.normalize (Circuits.Rewrite.double_negate (Circuits.Datapath.parity 8)) in
+  let neq_g = Key.normalize (Circuits.Adder.ripple_carry 3) in
+  let neq_r =
+    let g = Circuits.Adder.ripple_carry 3 in
+    Aig.set_output g 0 (Aig.Lit.neg (Aig.output g 0));
+    Key.normalize g
+  in
+  [ (eq1_g, eq1_r, "equivalent"); (eq2_g, eq2_r, "equivalent"); (neq_g, neq_r, "inequivalent") ]
+
+let test_fleet_end_to_end () =
+  let dir = temp_dir "fleet-e2e" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let pairs =
+    List.mapi
+      (fun i (golden, revised, expected) ->
+        let gp = Filename.concat dir (Printf.sprintf "g%d.aig" i) in
+        let rp = Filename.concat dir (Printf.sprintf "r%d.aig" i) in
+        Aig.Aiger.write_file gp golden;
+        Aig.Aiger.write_file rp revised;
+        (golden, revised, gp, rp, expected))
+      (fleet_pairs ())
+  in
+  (* Three shards on ephemeral TCP ports. *)
+  let shard_ids = [ "s0"; "s1"; "s2" ] in
+  let shards =
+    List.map
+      (fun id ->
+        let store_dir = Filename.concat dir ("store-" ^ id) in
+        let cell, on_listen = addr_cell () in
+        let cfg =
+          {
+            (Server.default_config ~socket_path:"unused" ~store_dir) with
+            Server.listen = [ Addr.Tcp ("127.0.0.1", 0) ];
+            log = false;
+            on_listen = (fun addrs -> on_listen (List.hd addrs));
+          }
+        in
+        let domain = Domain.spawn (fun () -> Server.run cfg) in
+        (id, store_dir, cell, domain))
+      shard_ids
+  in
+  let shard_addrs =
+    List.map (fun (id, _, cell, _) -> (id, await_addr cell)) shards
+  in
+  (* The router, also on an ephemeral port, with failover replicas. *)
+  let router_cell, router_on_listen = addr_cell () in
+  let router_cfg =
+    {
+      (Router.default_config
+         ~listen:(Addr.Tcp ("127.0.0.1", 0))
+         ~shards:(List.map (fun (id, addr) -> { Router.id; addr }) shard_addrs))
+      with
+      Router.replicas = 2;
+      workers = 2;
+      probe_interval_ms = 100.;
+      connect_timeout_ms = 1000.;
+      log = false;
+      on_listen = router_on_listen;
+    }
+  in
+  let router = Domain.spawn (fun () -> Router.run router_cfg) in
+  let router_addr = await_addr router_cell in
+  Alcotest.(check string) "router answers ping" "true"
+    (field_exn "ok" (request_exn router_addr "ping"));
+
+  (* Cold pass: every verdict correct, nothing cached. *)
+  List.iter
+    (fun (_, _, gp, rp, expected) ->
+      let r = request_exn router_addr (Printf.sprintf "check %s %s" gp rp) in
+      Alcotest.(check string) "cold verdict" expected (field_exn "status" r);
+      Alcotest.(check string) "cold is a miss" "false" (field_exn "cached" r))
+    pairs;
+
+  (* Warm pass: served from the stores. *)
+  List.iter
+    (fun (_, _, gp, rp, expected) ->
+      let r = request_exn router_addr (Printf.sprintf "check %s %s" gp rp) in
+      Alcotest.(check string) "warm verdict" expected (field_exn "status" r);
+      Alcotest.(check string) "warm is a hit" "true" (field_exn "cached" r))
+    pairs;
+
+  (* Every certificate reachable through the router path must also
+     pass the streaming checker against a rebuilt miter formula — the
+     fleet adds transport, not trust. *)
+  let ring = Ring.create shard_ids in
+  List.iter
+    (fun (golden, revised, _, _, expected) ->
+      if expected = "equivalent" then begin
+        let key = Key.of_pair golden revised in
+        let found = ref false in
+        List.iter
+          (fun (_, store_dir, _, _) ->
+            let store = Store.create ~dir:store_dir () in
+            match Store.find store key ~golden ~revised with
+            | Some (Cec.Equivalent cert) ->
+              found := true;
+              let formula = Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) in
+              let bytes = Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root in
+              (match Proof.Stream_check.check ~formula bytes with
+              | Ok _ -> ()
+              | Error e ->
+                Alcotest.failf "stored certificate fails the streaming checker: %a"
+                  Proof.Stream_check.pp_error e)
+            | _ -> ())
+          shards;
+        if not !found then Alcotest.fail "certificate not found in any shard store"
+      end)
+    pairs;
+
+  (* Wait until the background replicator has warmed the standby
+     replicas (three fresh verdicts, replicas = 2 => three replays). *)
+  await
+    ~pred:(fun () ->
+      int_of_string (field_exn "replicated" (request_exn router_addr "stats")) >= 3)
+    ~what:"warm replication to standby replicas";
+
+  (* Kill the primary owner of the first pair mid-run... *)
+  let _, _, gp0, rp0, expected0 = List.hd pairs in
+  let golden0, revised0, _, _, _ = List.hd pairs in
+  let key0 = Key.to_hex (Key.of_pair golden0 revised0) in
+  let primary0 =
+    match Ring.owner ring key0 with Some s -> s | None -> Alcotest.fail "no owner"
+  in
+  let killed_addr = List.assoc primary0 shard_addrs in
+  Alcotest.(check string) "shard drains" "true"
+    (field_exn "draining" (request_exn killed_addr "shutdown"));
+  List.iter
+    (fun (id, _, _, domain) -> if id = primary0 then ignore (Domain.join domain))
+    shards;
+
+  (* ...and the fleet must still answer it correctly (replica hit). *)
+  let r = request_exn router_addr (Printf.sprintf "check %s %s" gp0 rp0) in
+  Alcotest.(check string) "verdict survives the shard loss" expected0 (field_exn "status" r);
+  Alcotest.(check string) "failover hit is warm" "true" (field_exn "cached" r);
+  await
+    ~pred:(fun () ->
+      int_of_string (field_exn "failovers" (request_exn router_addr "stats")) >= 1)
+    ~what:"a recorded failover";
+  let stats = request_exn router_addr "stats" in
+  Alcotest.(check string) "no unavailable responses" "0" (field_exn "unavailable" stats);
+  Alcotest.(check string) "dead shard observed" "2" (field_exn "shards_up" stats);
+
+  (* The aggregated fleet snapshot still exports and carries both the
+     router's and the surviving shards' counters. *)
+  let metrics = request_exn router_addr "metrics" in
+  (match Snapshot.counters metrics with
+  | Ok counters ->
+    let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+    Alcotest.(check bool) "fleet counters present" true (get "fleet.forwarded" >= 7);
+    Alcotest.(check bool) "shard counters merged" true (get "service.proved" >= 2)
+  | Error msg -> Alcotest.failf "fleet snapshot unparsable: %s" msg);
+
+  (* Drain everything. *)
+  Alcotest.(check string) "router drains" "true"
+    (field_exn "draining" (request_exn router_addr "shutdown"));
+  let final = Domain.join router in
+  Alcotest.(check bool) "final registry has the failover" true
+    (Obs.Counter.get (Obs.Registry.counter final "fleet.failovers") >= 1);
+  List.iter
+    (fun (id, _, _, domain) ->
+      if id <> primary0 then begin
+        ignore (request_exn (List.assoc id shard_addrs) "shutdown");
+        ignore (Domain.join domain)
+      end)
+    shards
+
+let suites =
+  [
+    ( "fleet",
+      [
+        Alcotest.test_case "ring basics" `Quick test_ring_basics;
+        Alcotest.test_case "ring balance" `Quick test_ring_balance;
+        ring_monotonic_add;
+        ring_monotonic_remove;
+        ring_replicas_distinct;
+        Alcotest.test_case "ring movement on join" `Quick test_ring_movement_fraction;
+        Alcotest.test_case "addr parse" `Quick test_addr_parse;
+        Alcotest.test_case "connect timeout is bounded" `Quick test_connect_timeout;
+        Alcotest.test_case "admission" `Quick test_admission;
+        Alcotest.test_case "health" `Quick test_health;
+        Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
+        Alcotest.test_case "snapshot rejects garbage" `Quick test_snapshot_rejects_garbage;
+        Alcotest.test_case "loopback fleet end to end" `Slow test_fleet_end_to_end;
+      ] );
+  ]
