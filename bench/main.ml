@@ -1396,6 +1396,114 @@ let p7 () =
       output_string oc (Obs.Export.stats_json merged));
   Printf.printf "wrote BENCH_p7.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
 
+(* --- P8: hinted certificate checking vs solving --- *)
+
+let p8 () =
+  (* Check-vs-solve over the p1 workload: for every suite case, solve
+     once (4-domain partitioned check) with the wall time recorded,
+     export the refutation as a hinted CECB v3 certificate carrying
+     the prover's partition boundaries, and re-validate it three ways:
+     the searching streaming checker, the search-free hinted checker,
+     and the hinted checker over 4 domains.  Acceptance: on every row
+     the hinted check is faster than the solve, the hinted checker
+     performs zero search (hints_followed = steps), and the hinted
+     peak live set never exceeds the streaming peak.  Gauges go to
+     BENCH_p8.json. *)
+  let merged = Obs.Registry.create () in
+  let config = { Parallel.default_config with Parallel.num_domains = 4 } in
+  let violations = ref [] in
+  let rows =
+    List.map
+      (fun case ->
+        let golden = case.Circuits.Suite.golden () and revised = case.Circuits.Suite.revised () in
+        let reg = Obs.Registry.create () in
+        Obs.with_ambient reg (fun () ->
+            let report, t_solve = time (fun () -> Parallel.check ~config golden revised) in
+            let cert =
+              match report.Parallel.verdict with
+              | Cec.Equivalent cert -> cert
+              | Cec.Inequivalent _ | Cec.Undecided -> failwith "benchmark case not proved (bug)"
+            in
+            let formula = cert.Cec.formula in
+            let bin, _t_enc =
+              time (fun () ->
+                  Proof.Binfmt.encode_hinted ~boundaries:cert.Cec.boundaries cert.Cec.proof
+                    ~root:cert.Cec.root)
+            in
+            let stream_st, t_stream =
+              time (fun () ->
+                  match Proof.Stream_check.check ~formula bin with
+                  | Ok st -> st
+                  | Error e ->
+                    failwith
+                      (Format.asprintf "stream check failed: %a" Proof.Stream_check.pp_error e))
+            in
+            let hint ~jobs =
+              time (fun () ->
+                  match Proof.Hint_check.check ~formula ~jobs bin with
+                  | Ok st -> st
+                  | Error e ->
+                    failwith
+                      (Format.asprintf "hinted check failed (jobs=%d): %a" jobs
+                         Proof.Hint_check.pp_error e))
+            in
+            let h1, t_hint1 = hint ~jobs:1 in
+            let h4, t_hint4 = hint ~jobs:4 in
+            if h1.Proof.Hint_check.hints_followed <> h1.Proof.Hint_check.steps then
+              failwith "hinted checker fell back to search (bug)";
+            if h1.Proof.Hint_check.peak_live > stream_st.Proof.Stream_check.peak_live then
+              failwith "hinted peak live exceeds the streaming peak (bug)";
+            if h1 <> h4 then failwith "check stats depend on jobs (bug)";
+            let t_hint = Float.min t_hint1 t_hint4 in
+            if t_hint >= t_solve then
+              violations := case.Circuits.Suite.name :: !violations;
+            let speedup = t_solve /. Float.max t_hint1 1e-9 in
+            let gauge suffix v =
+              Obs.Gauge.set
+                (Obs.Registry.gauge merged ("bench.p8." ^ case.Circuits.Suite.name ^ suffix))
+                v
+            in
+            gauge "_solve_ms" (1000.0 *. t_solve);
+            gauge "_stream_check_ms" (1000.0 *. t_stream);
+            gauge "_hint_check_ms" (1000.0 *. t_hint1);
+            gauge "_hint_check_j4_ms" (1000.0 *. t_hint4);
+            gauge "_check_speedup" speedup;
+            gauge "_bin_bytes" (float_of_int (String.length bin));
+            gauge "_shards" (float_of_int h1.Proof.Hint_check.shards);
+            gauge "_steps" (float_of_int h1.Proof.Hint_check.steps);
+            gauge "_peak_live" (float_of_int h1.Proof.Hint_check.peak_live);
+            Obs.Registry.merge_into ~into:merged reg;
+            [
+              case.Circuits.Suite.name;
+              Tables.fmt_ms t_solve;
+              Tables.fmt_ms t_stream;
+              Tables.fmt_ms t_hint1;
+              Tables.fmt_ms t_hint4;
+              string_of_int h1.Proof.Hint_check.shards;
+              string_of_int h1.Proof.Hint_check.steps;
+              string_of_int h1.Proof.Hint_check.peak_live;
+              Printf.sprintf "%.0fx" speedup;
+            ]))
+      Circuits.Suite.default
+  in
+  Tables.print
+    ~title:
+      "P8: hinted certificate checking vs solving (CECB v3, prover boundaries, 4 domains)"
+    ~columns:
+      [
+        "case"; "solve"; "stream chk"; "hint chk"; "hint j4"; "shards"; "steps"; "peak live";
+        "speedup";
+      ]
+    ~rows;
+  (* Acceptance: re-checking a hinted certificate must be cheaper than
+     re-solving on every row of the workload. *)
+  (match !violations with
+  | [] -> Printf.printf "check < solve on all %d rows\n" (List.length rows)
+  | cases -> failwith ("hinted check slower than solve on: " ^ String.concat ", " cases));
+  Out_channel.with_open_text "BENCH_p8.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p8.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
+
 (* --- Bechamel micro-benchmarks: one Test.make per experiment --- *)
 
 
@@ -1498,6 +1606,7 @@ let experiments =
     ("p5", p5);
     ("p6", p6);
     ("p7", p7);
+    ("p8", p8);
   ]
 
 let () =
@@ -1514,7 +1623,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p7, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p8, bechamel)\n" name;
           exit 2
         end)
     selected

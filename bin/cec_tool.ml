@@ -248,6 +248,13 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts sweep_mode j
             | Service.Store.Bin ->
               (* [Binfmt.encode] trims to the reachable cone itself. *)
               write_text (Some path) (Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root)
+            | Service.Store.Bin3 ->
+              (* Hinted body sharded on the prover's section
+                 boundaries: check-proof follows the hints with no
+                 search and can split shards across --jobs domains. *)
+              write_text (Some path)
+                (Proof.Binfmt.encode_hinted ~boundaries:cert.Cec.boundaries cert.Cec.proof
+                   ~root:cert.Cec.root)
             | Service.Store.Trace ->
               let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
               write_text (Some path) (Proof.Export.trace_to_string trimmed ~root)));
@@ -269,7 +276,7 @@ let run_cec path_a path_b engine_name words no_lemmas max_conflicts sweep_mode j
           | None -> print_endline "UNDECIDED (conflict budget exhausted)");
           4)))
 
-let run_check_proof miter_path trace_path =
+let run_check_proof miter_path trace_path jobs =
   match read_aiger miter_path with
   | Error msg ->
     prerr_endline msg;
@@ -279,6 +286,30 @@ let run_check_proof miter_path trace_path =
     | exception Sys_error msg ->
       prerr_endline msg;
       2
+    | text when Proof.Binfmt.is_hinted text -> (
+      (* Hinted CECB certificate: follow the stored pivots — no search
+         — and check the shards on [jobs] domains.  Same exit contract:
+         corruption 2, well-formed-but-invalid 3. *)
+      match Cnf.Tseitin.miter_formula miter with
+      | exception Invalid_argument msg ->
+        prerr_endline msg;
+        2
+      | formula -> (
+        match Proof.Hint_check.check ~formula ~jobs text with
+        | Ok st ->
+          Format.printf
+            "OK: %d chains verified against %s (hinted, %d steps on %d shard(s), peak %d of %d \
+             nodes live)@."
+            st.Proof.Hint_check.chains miter_path st.Proof.Hint_check.hints_followed
+            st.Proof.Hint_check.shards st.Proof.Hint_check.peak_live st.Proof.Hint_check.nodes;
+          0
+        | Error e when e.Proof.Hint_check.malformed ->
+          Printf.eprintf "%s: parse error: %s\n" trace_path
+            (Format.asprintf "%a" Proof.Hint_check.pp_error e);
+          2
+        | Error e ->
+          Format.printf "REJECTED: %a@." Proof.Hint_check.pp_error e;
+          3))
     | text when Proof.Binfmt.is_binary text -> (
       (* CECB binary certificate: validate in one bounded-memory pass.
          Byte-level corruption exits 2 (parse error), a well-formed but
@@ -757,7 +788,12 @@ let faults_arg =
            compile to a single boolean load).")
 
 let cert_format_conv =
-  Arg.enum [ ("trace", Service.Store.Trace); ("bin", Service.Store.Bin) ]
+  Arg.enum
+    [
+      ("trace", Service.Store.Trace);
+      ("bin", Service.Store.Bin);
+      ("bin3", Service.Store.Bin3);
+    ]
 
 (* `cec --proof` keeps writing ASCII traces unless asked (they diff and
    grep); the store defaults to the compact binary format. *)
@@ -841,9 +877,10 @@ let cec_cmd =
   let cert_format =
     cert_format_arg ~default:Service.Store.Trace
       ~doc:
-        "Format for $(b,--proof): $(b,trace) (ASCII resolution trace, the default) or $(b,bin) \
-         (compact CECB binary certificate with deletion records).  $(b,check-proof) \
-         auto-detects either."
+        "Format for $(b,--proof): $(b,trace) (ASCII resolution trace, the default), $(b,bin) \
+         (compact CECB binary certificate with deletion records) or $(b,bin3) (hinted CECB: \
+         pivot hints plus a shard table on the prover's partition boundaries, checkable without \
+         search and in parallel).  $(b,check-proof) auto-detects all three."
   in
   let jobs =
     Arg.(
@@ -870,15 +907,26 @@ let cec_cmd =
       $ proof_out $ cert_format $ validate $ faults_arg)
 
 let check_proof_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Check a hinted ($(b,bin3)) certificate's shards on $(docv) domains, joining at the \
+             recorded partition boundaries.  Affects wall time only: verdict, error report and \
+             aggregate counters are identical for every $(docv).  Ignored for un-hinted formats.")
+  in
   Cmd.v
     (Cmd.info "check-proof"
        ~doc:
-         "Validate a certificate against a miter AIGER file.  ASCII resolution traces and CECB \
-          binary certificates are auto-detected; binary ones are checked in one bounded-memory \
-          streaming pass.")
+         "Validate a certificate against a miter AIGER file.  ASCII resolution traces, CECB \
+          binary certificates and hinted ($(b,bin3)) certificates are auto-detected; binary \
+          ones are checked in one bounded-memory streaming pass, hinted ones search-free and — \
+          with $(b,--jobs) — shard-parallel.")
     Term.(
       const run_check_proof $ file_pos 0 "Single-output miter AIGER file."
-      $ file_pos 1 "Certificate file (ASCII trace or CECB binary).")
+      $ file_pos 1 "Certificate file (ASCII trace or CECB binary)."
+      $ jobs)
 
 let fraig_cmd =
   let words =
@@ -1174,10 +1222,11 @@ let batch_cmd =
                 paths resolve against the manifest's directory.")
   in
   let cert_format =
-    cert_format_arg ~default:Service.Store.Bin
+    cert_format_arg ~default:Service.Store.Bin3
       ~doc:
-        "Body format for newly stored certificates: $(b,bin) (compact CECB binary, the default) \
-         or $(b,trace) (ASCII resolution trace).  Reading understands both."
+        "Body format for newly stored certificates: $(b,bin3) (hinted CECB binary, the \
+         default), $(b,bin) (compact CECB binary without hints) or $(b,trace) (ASCII \
+         resolution trace).  Reading understands all three."
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Check a manifest of pairs against a certificate store, no daemon."

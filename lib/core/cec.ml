@@ -1,7 +1,12 @@
 module Solver = Sat.Solver
 module R = Proof.Resolution
 
-type certificate = { proof : R.t; root : R.id; formula : Cnf.Formula.t }
+type certificate = {
+  proof : R.t;
+  root : R.id;
+  formula : Cnf.Formula.t;
+  boundaries : R.id array;
+}
 
 type engine =
   | Monolithic
@@ -32,7 +37,8 @@ let check_monolithic ?max_conflicts miter =
     match Solver.solve ?max_conflicts solver with
     | Solver.Sat model -> Inequivalent (extract_inputs miter model)
     | Solver.Unknown | Solver.Unsat_assuming _ -> Undecided
-    | Solver.Unsat root -> Equivalent { proof = Solver.proof solver; root; formula }
+    | Solver.Unsat root ->
+      Equivalent { proof = Solver.proof solver; root; formula; boundaries = [||] }
   in
   {
     verdict;
@@ -50,7 +56,8 @@ let check_sweeping ?max_conflicts cfg miter =
   let outcome, stats = Sweep.run miter cfg in
   let verdict =
     match outcome with
-    | Sweep.Proved { proof; root; formula } -> Equivalent { proof; root; formula }
+    | Sweep.Proved { proof; root; formula; boundaries } ->
+      Equivalent { proof; root; formula; boundaries }
     | Sweep.Disproved inputs -> Inequivalent inputs
     | Sweep.Unresolved -> Undecided
   in

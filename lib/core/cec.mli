@@ -14,6 +14,11 @@ type certificate = {
   proof : Proof.Resolution.t;
   root : Proof.Resolution.id;
   formula : Cnf.Formula.t;  (** the miter CNF the proof refutes *)
+  boundaries : Proof.Resolution.id array;
+      (** section boundaries (last proof node of each refuted query or
+          stitched partition, ascending) for sharded hinted-certificate
+          emission; empty when the prover recorded none — the hinted
+          encoder then emits a single shard *)
 }
 
 type engine =

@@ -181,6 +181,7 @@ let stitch miter diffs formula jobs =
   let s = R.create () in
   let lemma_root : (Clause.t, R.id) Hashtbl.t = Hashtbl.create 16 in
   let lemma_order = ref [] in
+  let sections = ref [] in
   let direct = ref None in
   List.iter
     (fun job ->
@@ -195,6 +196,9 @@ let stitch miter diffs formula jobs =
               else R.add_leaf s c)
         in
         let lifted, lemma = Proof.Lift.refutation s ~root in
+        (* One section per stitched partition: hinted-certificate
+           shards check these spans in parallel. *)
+        sections := (R.size s - 1) :: !sections;
         if Clause.is_empty lemma then
           (* The partition refuted the definitional clauses alone —
              impossible for consistent Tseitin cones, but if it ever
@@ -206,8 +210,9 @@ let stitch miter diffs formula jobs =
         end
       | _ -> ())
     jobs;
+  let boundaries () = Array.of_list (List.rev !sections) in
   match !direct with
-  | Some root -> ({ Cec.proof = s; root; formula }, 0)
+  | Some root -> ({ Cec.proof = s; root; formula; boundaries = boundaries () }, 0)
   | None ->
     (* Final stitch: the asserted output, the output-combining OR
        layer above the disagreement nodes, and the per-partition unit
@@ -234,7 +239,8 @@ let stitch miter diffs formula jobs =
             | Some id -> id
             | None -> R.add_leaf s c)
       in
-      ({ Cec.proof = s; root = final; formula }, Solver.num_conflicts solver)
+      ( { Cec.proof = s; root = final; formula; boundaries = boundaries () },
+        Solver.num_conflicts solver )
     | Solver.Sat _ | Solver.Unknown | Solver.Unsat_assuming _ ->
       failwith "Parallel.check: final stitch call did not refute (internal error)")
 

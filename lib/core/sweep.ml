@@ -78,7 +78,12 @@ let obs_handles () =
   }
 
 type outcome =
-  | Proved of { proof : R.t; root : R.id; formula : Formula.t }
+  | Proved of {
+      proof : R.t;
+      root : R.id;
+      formula : Formula.t;
+      boundaries : R.id array;
+    }
   | Disproved of bool array
   | Unresolved
 
@@ -185,6 +190,10 @@ type fresh_state = {
   lemma_root : (Clause.t, R.id) Hashtbl.t;
   mutable lemma_list : Clause.t list;
   lemmas_by_max_var : (int, Clause.t list) Hashtbl.t;
+  mutable sections : R.id list;
+      (* last global proof node of each imported per-query refutation,
+         newest first: section boundaries for hinted certificate
+         emission ({!Proof.Binfmt.encode_hinted}) *)
 }
 
 let fresh_register o st stats clause root =
@@ -241,6 +250,7 @@ let fresh_query g cfg st stats ~lits ~assumptions =
     | Solver.Unsat root ->
       let lifted_root, lemma = Proof.Lift.refutation qproof ~root in
       let global_root = fresh_import st qproof lifted_root in
+      st.sections <- (R.size st.global - 1) :: st.sections;
       Refuted (global_root, lemma)
   in
   stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
@@ -260,7 +270,13 @@ let fresh_final g cfg st stats =
       Unresolved
     | Solver.Unsat root ->
       let global_root = fresh_import st qproof root in
-      Proved { proof = st.global; root = global_root; formula = st.miter_cnf }
+      Proved
+        {
+          proof = st.global;
+          root = global_root;
+          formula = st.miter_cnf;
+          boundaries = Array.of_list (List.rev st.sections);
+        }
   in
   stats.conflicts <- stats.conflicts + Solver.num_conflicts solver;
   result
@@ -273,6 +289,7 @@ let make_fresh_engine g cfg ~formula =
       lemma_root = Hashtbl.create 256;
       lemma_list = [];
       lemmas_by_max_var = Hashtbl.create 256;
+      sections = [];
     }
   in
   let stats = fresh_stats () in
@@ -317,6 +334,7 @@ let make_incremental_engine g cfg ~formula =
         end)
       (Aig.Cone.tfi_ands g lits)
   in
+  let sections = ref [] in
   let query ~lits ~assumptions =
     stats.sat_calls <- stats.sat_calls + 1;
     add_cone lits;
@@ -324,7 +342,9 @@ let make_incremental_engine g cfg ~formula =
       match Solver.solve ?max_conflicts:cfg.max_conflicts ~assumptions solver with
       | Solver.Sat model -> Countermodel (extract_inputs g model)
       | Solver.Unknown -> Budget
-      | Solver.Unsat_assuming { clause; pid } -> Refuted (pid, clause)
+      | Solver.Unsat_assuming { clause; pid } ->
+        sections := (Solver.proof_size solver - 1) :: !sections;
+        Refuted (pid, clause)
       | Solver.Unsat _ ->
         (* The definitional clauses alone are satisfiable, so a global
            refutation can only mean a programming error. *)
@@ -378,7 +398,9 @@ let make_incremental_engine g cfg ~formula =
       | Solver.Unknown | Solver.Unsat_assuming _ ->
         stats.unknowns <- stats.unknowns + 1;
         Unresolved
-      | Solver.Unsat root -> Proved { proof = global; root; formula }
+      | Solver.Unsat root ->
+        Proved
+          { proof = global; root; formula; boundaries = Array.of_list (List.rev !sections) }
     in
     account ();
     result

@@ -63,6 +63,10 @@ type outcome =
       proof : Proof.Resolution.t;
       root : Proof.Resolution.id;
       formula : Cnf.Formula.t;  (** the miter CNF the proof refutes *)
+      boundaries : Proof.Resolution.id array;
+          (** last proof node of each refuted query's imported
+              derivation, ascending — the section boundaries a hinted
+              certificate ({!Proof.Binfmt.encode_hinted}) shards on *)
     }
   | Disproved of bool array  (** an input assignment setting the output *)
   | Unresolved  (** final query exhausted its budget *)

@@ -6,7 +6,12 @@
     {e live} clauses — each clause is resident from its defining record
     until its delete record — so memory is bounded by the peak live
     count, not the proof size.  Chain result clauses are recomputed by
-    resolution (the format stores none), leaves are checked against the
+    resolution; for hinted (version-2) certificates the searched pivot
+    is additionally cross-checked against the stored hint, the shard
+    table is enforced (byte spans, per-shard node counts, export
+    clauses matching their derivations, cross-shard antecedents
+    exported), so this sequential pass accepts exactly the certificates
+    the sharded {!Hint_check} accepts.  Leaves are checked against the
     formula when one is given, assumption leaves are rejected, and the
     final node must hold the empty clause.
 
@@ -29,6 +34,9 @@ type error = {
       (** [true]: the byte stream itself is corrupt (bad magic, truncation,
           dangling reference); [false]: well-formed but not a valid
           refutation *)
+  chain : int option;
+      (** node position (chain id) the failure is attributed to, when
+          one is — header and delete failures carry none *)
 }
 
 val pp_error : Format.formatter -> error -> unit

@@ -105,6 +105,7 @@ let create ?proof ?(reduce_base = 4000) () =
   }
 
 let proof s = s.proof
+let proof_size s = R.size s.proof
 let trim_hints s = Veci.to_array s.retired
 let num_vars s = s.nvars
 let num_conflicts s = s.conflicts

@@ -35,6 +35,12 @@ val create : ?proof:Proof.Resolution.t -> ?reduce_base:int -> unit -> t
 
 val proof : t -> Proof.Resolution.t
 
+(** Number of nodes currently in the proof store — a cheap monotone
+    marker.  Sampling it right after a refuted query yields the section
+    boundaries {!Proof.Binfmt.encode_hinted} shards a hinted
+    certificate on. *)
+val proof_size : t -> int
+
 (** Proof ids of learned chains the solver has retired from its clause
     database, in retirement order.  A retired chain is never an
     antecedent of any chain learned later, so these are deletion hints

@@ -2,12 +2,15 @@ module Cec = Cec_core.Cec
 module Certify = Cec_core.Certify
 
 (* Version 2 introduced binary certificate bodies and the explicit
-   ["trace"/"bin"] word on the verdict line.  Version-1 objects (bare
-   ["equivalent"] + ASCII trace) are still readable; the index format
-   is versioned separately below and a v1 index is simply rebuilt. *)
-let format_version = 2
+   ["trace"/"bin"] word on the verdict line; version 3 adds hinted
+   binary bodies ("bin3": pivot hints + shard table, checkable without
+   search and in parallel).  Version-1 objects (bare ["equivalent"] +
+   ASCII trace) and version-2 objects are still readable; the index
+   format is versioned separately below and an old index is simply
+   rebuilt. *)
+let format_version = 3
 
-type cert_format = Trace | Bin
+type cert_format = Trace | Bin | Bin3
 
 type entry = {
   mutable bytes : int;
@@ -144,7 +147,8 @@ let touch t (e : entry) =
 (* --- certificate encoding --- *)
 
 let header = Printf.sprintf "cecproof-cert %d" format_version
-let legacy_header = "cecproof-cert 1"
+let legacy_headers = [ "cecproof-cert 1"; "cecproof-cert 2" ]
+let known_header h = h = header || List.mem h legacy_headers
 
 let encode ~format verdict =
   match verdict with
@@ -160,6 +164,14 @@ let encode ~format verdict =
       Some
         (Printf.sprintf "%s\nequivalent bin\n%s" header
            (Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root))
+    | Bin3 ->
+      (* Hinted body: pivot hints plus a shard table on the prover's
+         section boundaries, so reads re-validate without search and
+         in parallel. *)
+      Some
+        (Printf.sprintf "%s\nequivalent bin3\n%s" header
+           (Proof.Binfmt.encode_hinted ~boundaries:cert.Cec.boundaries cert.Cec.proof
+              ~root:cert.Cec.root))
     | Trace ->
       let trimmed, root = Proof.Trim.cone cert.Cec.proof ~root:cert.Cec.root in
       Some
@@ -194,12 +206,12 @@ let load_verdict t path ~golden ~revised =
   | data -> (
     let data = if Fault.fire "store.corrupt" then corrupt_bytes data else data in
     let first, rest = split_line data in
-    if first <> header && first <> legacy_header then
+    if not (known_header first) then
       Error (Printf.sprintf "version/header mismatch: %S (want %S)" first header)
     else
       let verdict_line, body = split_line rest in
       (* Version-1 objects say bare "equivalent" and always carry an
-         ASCII trace; version-2 objects name their body format. *)
+         ASCII trace; later versions name their body format. *)
       let equivalent_trace () =
         match Proof.Export.trace_of_string body with
         | exception Failure msg -> Error msg
@@ -208,19 +220,40 @@ let load_verdict t path ~golden ~revised =
           match Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) with
           | exception Invalid_argument msg -> Error msg
           | formula -> (
-            let cert = { Cec.proof; root; formula } in
+            let cert = { Cec.proof; root; formula; boundaries = [||] } in
             if not t.paranoid then Ok (Cec.Equivalent cert)
             else
               match Certify.validate_against cert golden revised with
               | Ok _ -> Ok (Cec.Equivalent cert)
               | Error e -> Error (Format.asprintf "%a" Certify.pp_error e)))
       in
-      let equivalent_bin () =
+      (* The decoded proof's node ids equal stream positions, so the
+         shard table maps straight back to section boundaries — a
+         reloaded certificate re-encodes with the same shards. *)
+      let boundaries_of_body () =
+        match Proof.Binfmt.reader body with
+        | exception Proof.Binfmt.Corrupt _ -> [||]
+        | r ->
+          let n = Proof.Binfmt.declared_nodes r in
+          Proof.Binfmt.shards r |> Array.to_list
+          |> List.filter_map (fun sh ->
+                 if sh.Proof.Binfmt.end_pos < n then Some (sh.Proof.Binfmt.end_pos - 1)
+                 else None)
+          |> Array.of_list
+      in
+      let equivalent_bin ~hinted () =
         match Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) with
         | exception Invalid_argument msg -> Error msg
         | formula -> (
           let checked =
             if not t.paranoid then Ok ()
+            else if hinted then
+              (* Hinted bodies re-validate search-free: the checker
+                 follows each chain's stored pivots and enforces the
+                 shard/export discipline. *)
+              match Proof.Hint_check.check ~formula body with
+              | Ok _ -> Ok ()
+              | Error e -> Error (Format.asprintf "%a" Proof.Hint_check.pp_error e)
             else
               (* The streaming checker plays the [Certify] role for
                  binary bodies: leaves must come from this pair's miter
@@ -234,11 +267,13 @@ let load_verdict t path ~golden ~revised =
           | Ok () -> (
             match Proof.Binfmt.decode body with
             | exception Failure msg -> Error msg
-            | proof, root -> Ok (Cec.Equivalent { Cec.proof; root; formula })))
+            | proof, root ->
+              Ok (Cec.Equivalent { Cec.proof; root; formula; boundaries = boundaries_of_body () })))
       in
       match String.split_on_char ' ' verdict_line with
       | [ "equivalent" ] | [ "equivalent"; "trace" ] -> equivalent_trace ()
-      | [ "equivalent"; "bin" ] -> equivalent_bin ()
+      | [ "equivalent"; "bin" ] -> equivalent_bin ~hinted:false ()
+      | [ "equivalent"; "bin3" ] -> equivalent_bin ~hinted:true ()
       | [ "inequivalent"; bits ] ->
         if String.exists (fun c -> c <> '0' && c <> '1') bits then
           Error "malformed counterexample bits"
@@ -301,8 +336,7 @@ let is_tmp_name name =
    leaf-origin check that needs the formula. *)
 let validate_object data =
   let first, rest = split_line data in
-  if first <> header && first <> legacy_header then
-    Error (Printf.sprintf "header mismatch: %S" first)
+  if not (known_header first) then Error (Printf.sprintf "header mismatch: %S" first)
   else
     let verdict_line, body = split_line rest in
     match String.split_on_char ' ' verdict_line with
@@ -315,6 +349,10 @@ let validate_object data =
       match Proof.Stream_check.check body with
       | Ok _ -> Ok ()
       | Error e -> Error (Format.asprintf "%a" Proof.Stream_check.pp_error e))
+    | [ "equivalent"; "bin3" ] -> (
+      match Proof.Hint_check.check body with
+      | Ok _ -> Ok ()
+      | Error e -> Error (Format.asprintf "%a" Proof.Hint_check.pp_error e))
     | [ "inequivalent"; bits ] ->
       if bits <> "" && String.for_all (fun c -> c = '0' || c = '1') bits then Ok ()
       else Error "malformed counterexample bits"
@@ -413,7 +451,7 @@ let pp_fsck fmt r =
   Format.fprintf fmt "scanned=%d valid=%d orphan_tmp=%d quarantined=%d adopted=%d dropped=%d"
     r.scanned r.valid r.orphan_tmp r.quarantined r.adopted r.dropped
 
-let create ?capacity_bytes ?(paranoid = true) ?(cert_format = Bin) ?(startup_fsck = true) ~dir () =
+let create ?capacity_bytes ?(paranoid = true) ?(cert_format = Bin3) ?(startup_fsck = true) ~dir () =
   let objects = Filename.concat dir "objects" in
   mkdir_p objects;
   let t =

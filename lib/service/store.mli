@@ -12,14 +12,17 @@
                            one "<hex> <bytes> <stamp>" line per entry
     DIR/objects/<hex>      one certificate per entry:
                              cecproof-cert <version>
-                             equivalent bin   | equivalent trace   | inequivalent <bits>
-                             <CECB bytes...>  | <ascii trace...>   |
+                             equivalent bin3 | bin | trace  |  inequivalent <bits>
+                             <CECB bytes...> | <ascii trace...>  |
     v}
 
     Equivalent entries persist the verdict plus the {e trimmed}
-    refutation — by default as a compact {!Proof.Binfmt} binary
-    certificate, or as the dense ASCII trace
-    ({!Proof.Export.trace_to_string}) when the store was created with
+    refutation — by default as a {e hinted} {!Proof.Binfmt} binary
+    certificate ([bin3]: pivot hints and the prover's partition
+    boundaries as a shard table, re-validated search-free and in
+    parallel by {!Proof.Hint_check}), as the un-hinted binary format
+    with [~cert_format:Bin], or as the dense ASCII trace
+    ({!Proof.Export.trace_to_string}) with
     [~cert_format:Trace].  Inequivalent entries persist the
     distinguishing input assignment; undecided verdicts are never
     stored (a later, bigger budget may settle them).  Every file is
@@ -28,10 +31,11 @@
     cannot corrupt an existing one.
 
     Version-1 objects (header [cecproof-cert 1], bare [equivalent]
-    verdict line, ASCII trace body) remain readable: an old store
-    directory keeps answering hits, its v1 index is transparently
-    rebuilt by scanning [objects/], and entries are rewritten in the
-    current format only when stored again.  Entries carrying any
+    verdict line, ASCII trace body) and version-2 objects ([bin] or
+    [trace] bodies) remain readable: an old store directory keeps
+    answering hits, its old index is transparently rebuilt by scanning
+    [objects/], and entries are rewritten in the current format only
+    when stored again.  Entries carrying any
     {e other} version are treated as misses and dropped, so a cached
     store directory (e.g. restored by a CI cache) written by an unknown
     format can never poison a run.  A missing or unreadable index is
@@ -49,9 +53,11 @@
     been truncated, or been written by an adversary.  In paranoid mode
     (the default) a loaded equivalent entry is re-validated against the
     requested pair before being served — ASCII traces with
-    {!Cec_core.Certify.validate_against}, binary bodies with the
-    bounded-memory {!Proof.Stream_check} against the pair's miter CNF —
-    and a loaded counterexample is replayed through the miter.
+    {!Cec_core.Certify.validate_against}, un-hinted binary bodies with
+    the bounded-memory {!Proof.Stream_check}, hinted ([bin3]) bodies
+    with the search-free {!Proof.Hint_check}, each against the pair's
+    miter CNF — and a loaded counterexample is replayed through the
+    miter.
     Anything that fails is deleted and reported as a miss, so the
     caller falls back to solving.  Disabling paranoia serves entries
     unchecked (fast path for trusted local stores).
@@ -61,11 +67,13 @@
 
 type t
 
-(** Body format for {e newly stored} equivalent certificates ([Bin] is
-    the default: smaller on disk, checked by {!Proof.Stream_check} in
-    bounded memory on load).  Reading understands both, plus legacy
-    version-1 objects, regardless of this choice. *)
-type cert_format = Trace | Bin
+(** Body format for {e newly stored} equivalent certificates ([Bin3]
+    is the default: hinted, checked search-free by {!Proof.Hint_check}
+    on load; [Bin] is the un-hinted binary format checked by
+    {!Proof.Stream_check}; [Trace] the dense ASCII trace).  Reading
+    understands all three, plus legacy version-1 objects, regardless
+    of this choice. *)
+type cert_format = Trace | Bin | Bin3
 
 type stats = {
   entries : int;
@@ -86,7 +94,7 @@ val format_version : int
 (** Open (creating directories as needed) a store rooted at [dir].
     [capacity_bytes] bounds the total certificate bytes (unbounded when
     omitted); [paranoid] defaults to [true]; [cert_format] (default
-    [Bin]) picks the body format for newly stored certificates;
+    [Bin3]) picks the body format for newly stored certificates;
     [startup_fsck] (default [true]) runs {!fsck} before the store
     serves, so a crashed predecessor's debris never reaches readers. *)
 val create :

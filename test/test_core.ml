@@ -87,7 +87,7 @@ let test_sweep_stats () =
   in
   let outcome, stats = Sweep.run miter Sweep.default_config in
   (match outcome with
-  | Sweep.Proved { proof; root; formula } -> (
+  | Sweep.Proved { proof; root; formula; _ } -> (
     match Proof.Checker.check proof ~root ~formula () with
     | Ok _ -> ()
     | Error e -> Alcotest.failf "stitched proof rejected: %a" Proof.Checker.pp_error e)
@@ -104,7 +104,7 @@ let test_lemma_reuse_off () =
   in
   let cfg = { Sweep.default_config with Sweep.lemma_reuse = false } in
   match Sweep.run miter cfg with
-  | Sweep.Proved { proof; root; formula }, _ -> (
+  | Sweep.Proved { proof; root; formula; _ }, _ -> (
     match Proof.Checker.check proof ~root ~formula () with
     | Ok _ -> ()
     | Error e -> Alcotest.failf "proof rejected: %a" Proof.Checker.pp_error e)
@@ -193,7 +193,7 @@ let test_stitched_proof_is_rup () =
     Aig.Miter.build (Circuits.Adder.ripple_carry 3) (Circuits.Adder.carry_lookahead 3)
   in
   match Sweep.run miter Sweep.default_config with
-  | Sweep.Proved { proof; root; formula }, _ -> (
+  | Sweep.Proved { proof; root; formula; _ }, _ -> (
     let trimmed, troot = Proof.Trim.cone proof ~root in
     let drup = Proof.Export.drup_to_string trimmed ~root:troot in
     match Proof.Rup.check_drup_string formula drup with
@@ -206,7 +206,7 @@ let test_compress_stitched_proof () =
     Aig.Miter.build (Circuits.Adder.ripple_carry 6) (Circuits.Adder.carry_select 6)
   in
   match Sweep.run miter Sweep.default_config with
-  | Sweep.Proved { proof; root; formula }, _ -> (
+  | Sweep.Proved { proof; root; formula; _ }, _ -> (
     let kept, original = Proof.Compress.sharing_gain proof ~root in
     Alcotest.(check bool) "sharing cannot grow the proof" true (kept <= original);
     let shared, sroot = Proof.Compress.share proof ~root in
@@ -295,7 +295,7 @@ let test_incremental_faster_proofs_check () =
     Aig.Miter.build (Circuits.Adder.ripple_carry 3) (Circuits.Adder.carry_lookahead 3)
   in
   match Sweep.run miter incremental_cfg with
-  | Sweep.Proved { proof; root; formula }, _ -> (
+  | Sweep.Proved { proof; root; formula; _ }, _ -> (
     let trimmed, troot = Proof.Trim.cone proof ~root in
     match Proof.Rup.check_drup_string formula (Proof.Export.drup_to_string trimmed ~root:troot) with
     | Ok _ -> ()

@@ -263,7 +263,7 @@ let test_store_fsck_adopts_unindexed_objects () =
          parses as a valid empty index, so the load-time objects/ rescan
          fallback does not kick in — adoption is fsck's job. *)
       Out_channel.with_open_bin (Filename.concat dir "index") (fun oc ->
-          Out_channel.output_string oc "cecproof-index 2\n");
+          Out_channel.output_string oc (Printf.sprintf "cecproof-index %d\n" Store.format_version));
       let reopened = Store.create ~startup_fsck:false ~dir () in
       let report = Store.fsck reopened in
       Alcotest.(check int) "adopted" 1 report.Store.adopted;

@@ -529,6 +529,77 @@ let test_incremental_fewer_sat_calls () =
   Alcotest.(check bool) "clauses carried across queries" true
     (count "sat.clauses_carried" incr > 0)
 
+(* --- certificate-checker counters (the check.* family) --- *)
+
+let hinted_cert name =
+  let case = suite_case name in
+  match
+    (Cec.check sweeping (case.Circuits.Suite.golden ()) (case.Circuits.Suite.revised ()))
+      .Cec.verdict
+  with
+  | Cec.Equivalent cert -> cert
+  | Cec.Inequivalent _ | Cec.Undecided -> Alcotest.failf "suite case %s not proven" name
+
+(* A small shard floor so the fixed fixtures actually split; the
+   production default of 256 nodes would coalesce them into one. *)
+let check_registry ?(jobs = 1) (cert : Cec.certificate) =
+  let data =
+    Proof.Binfmt.encode_hinted ~boundaries:cert.Cec.boundaries ~min_shard_nodes:16 cert.Cec.proof
+      ~root:cert.Cec.root
+  in
+  let reg = Obs.Registry.create () in
+  (match
+     Obs.with_ambient reg (fun () -> Proof.Hint_check.check ~formula:cert.Cec.formula ~jobs data)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "hinted checker rejected: %a" Proof.Hint_check.pp_error e);
+  reg
+
+let check_golden_counters name expected fixture =
+  let reg = check_registry (hinted_cert fixture) in
+  Alcotest.(check (list (pair string int))) name expected (Obs.Registry.counters reg);
+  Json.check_valid (name ^ " stats") (Obs.Export.stats_json reg);
+  Json.check_valid (name ^ " trace") (Obs.Export.trace_json reg)
+
+let test_golden_check_adder () =
+  check_golden_counters "checker counters on add4-rc-cla"
+    [
+      ("check.chains", 22);
+      ("check.checks", 1);
+      ("check.hints_followed", 105);
+      ("check.shards", 5);
+      ("check.steps", 105);
+    ]
+    "add4-rc-cla"
+
+let test_golden_check_multiplier () =
+  check_golden_counters "checker counters on mul3-arr-sa"
+    [
+      ("check.chains", 105);
+      ("check.checks", 1);
+      ("check.hints_followed", 1674);
+      ("check.shards", 14);
+      ("check.steps", 1674);
+    ]
+    "mul3-arr-sa"
+
+let test_check_jobs_independence () =
+  (* Shards are checked with no early abort and counters are summed
+     over shards, so the aggregate check metrics cannot depend on how
+     shards are spread over domains. *)
+  let cert = hinted_cert "mul3-arr-sa" in
+  let snapshot jobs =
+    let reg = check_registry ~jobs cert in
+    (Obs.Export.counters_json reg, Obs.Gauge.get (Obs.Registry.gauge reg "check.peak_live"))
+  in
+  let c1, p1 = snapshot 1 in
+  let c4, p4 = snapshot 4 in
+  let c4', p4' = snapshot 4 in
+  Alcotest.(check string) "1 job = 4 jobs" c1 c4;
+  Alcotest.(check string) "4 jobs repeatable" c4 c4';
+  Alcotest.(check (float 0.0)) "peak gauge: 1 job = 4 jobs" p1 p4;
+  Alcotest.(check (float 0.0)) "peak gauge repeatable" p4 p4'
+
 (* --- qcheck properties --- *)
 
 (* A registry population as data, so merges can be replayed onto fresh
@@ -698,5 +769,10 @@ let suites =
           test_incremental_jobs_independence;
         Alcotest.test_case "incremental drops below per-pair SAT calls" `Quick
           test_incremental_fewer_sat_calls;
+        Alcotest.test_case "checker counters: adder pair" `Quick test_golden_check_adder;
+        Alcotest.test_case "checker counters: multiplier pair" `Quick
+          test_golden_check_multiplier;
+        Alcotest.test_case "check metrics independent of jobs" `Quick
+          test_check_jobs_independence;
       ] );
   ]

@@ -657,6 +657,138 @@ let test_binfmt_delete_then_use_rejected () =
   | Error e ->
     Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
 
+let contains s sub =
+  let n = String.length sub in
+  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* --- hinted certificates (encode_hinted + Hint_check) --- *)
+
+let test_hinted_roundtrip_hand () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode_hinted proof ~root in
+  Alcotest.(check bool) "hinted sniffed" true (Proof.Binfmt.is_hinted data);
+  Alcotest.(check bool) "v1 not sniffed as hinted" false
+    (Proof.Binfmt.is_hinted (Proof.Binfmt.encode proof ~root));
+  let proof', root' = Proof.Binfmt.decode data in
+  Alcotest.(check int) "same node count" 7 (R.size proof');
+  Alcotest.(check bool) "root empty" true (Clause.is_empty (R.clause_of proof' root'));
+  match Proof.Hint_check.check ~formula:(formula_of_leaves ()) data with
+  | Error e -> Alcotest.failf "valid hinted certificate rejected: %a" Proof.Hint_check.pp_error e
+  | Ok st ->
+    Alcotest.(check int) "seven nodes" 7 st.Proof.Hint_check.nodes;
+    Alcotest.(check int) "three chains" 3 st.Proof.Hint_check.chains;
+    Alcotest.(check int) "three steps" 3 st.Proof.Hint_check.steps;
+    Alcotest.(check int) "zero search: all steps hinted" st.Proof.Hint_check.steps
+      st.Proof.Hint_check.hints_followed;
+    Alcotest.(check int) "one shard without boundaries" 1 st.Proof.Hint_check.shards
+
+let test_hinted_sharded_roundtrip () =
+  (* Boundaries after [b] (proof id 4) and [nb] (proof id 5) with a
+     shard floor of 1 force three shards; the final chain then pulls
+     both its antecedents across shard boundaries, exercising the
+     export table end to end. *)
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode_hinted ~boundaries:[| 4; 5 |] ~min_shard_nodes:1 proof ~root in
+  (* The sequential checker enforces the same shard discipline. *)
+  (match Proof.Stream_check.check ~formula:(formula_of_leaves ()) data with
+  | Error e -> Alcotest.failf "stream checker rejected shards: %a" Proof.Stream_check.pp_error e
+  | Ok _ -> ());
+  List.iter
+    (fun jobs ->
+      match Proof.Hint_check.check ~formula:(formula_of_leaves ()) ~jobs data with
+      | Error e ->
+        Alcotest.failf "sharded certificate rejected (jobs=%d): %a" jobs
+          Proof.Hint_check.pp_error e
+      | Ok st ->
+        Alcotest.(check int) "three shards" 3 st.Proof.Hint_check.shards;
+        Alcotest.(check int) "three chains" 3 st.Proof.Hint_check.chains)
+    [ 1; 2; 8 ];
+  let proof', root' = Proof.Binfmt.decode data in
+  Alcotest.(check bool) "decoded root empty" true (Clause.is_empty (R.clause_of proof' root'))
+
+let test_hint_check_refuses_unhinted () =
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode proof ~root in
+  match Proof.Hint_check.check data with
+  | Ok _ -> Alcotest.fail "hinted checker accepted an un-hinted certificate"
+  | Error e ->
+    Alcotest.(check bool) "not classified as corruption" false e.Proof.Hint_check.malformed;
+    Alcotest.(check bool) "says the certificate has no hints" true
+      (contains e.Proof.Hint_check.reason "no hints")
+
+(* Rejection reports pin the offending chain id and byte offset in a
+   fixed format — `check-proof` prints these verbatim, so downstream
+   tooling may parse them. *)
+let test_reject_message_pins_chain_and_offset () =
+  (* v1: two unit leaves, delete node 0, then a chain citing it.
+     Records end at bytes 9, 12, 15, 19; the offending chain is node 2. *)
+  let v1 = Buffer.create 32 in
+  Buffer.add_string v1 Proof.Binfmt.magic;
+  Buffer.add_char v1 (Char.chr Proof.Binfmt.version);
+  List.iter (Buffer.add_char v1)
+    [
+      '\003';
+      '\000'; '\001'; '\000';
+      '\000'; '\001'; '\001';
+      '\003'; '\001'; '\000';
+      '\002'; '\002'; '\002'; '\001';
+    ];
+  (match Proof.Stream_check.check (Buffer.contents v1) with
+  | Ok _ -> Alcotest.fail "use-after-delete accepted"
+  | Error e ->
+    Alcotest.(check (option int)) "chain attributed" (Some 2) e.Proof.Stream_check.chain;
+    Alcotest.(check string) "stream message format"
+      "chain 2, byte 19: antecedent 0 is dead (deleted before its last use)"
+      (Format.asprintf "%a" Proof.Stream_check.pp_error e));
+  (* The same proof in the hinted layout: a 5-byte header (node count,
+     one shard of 3 nodes, 14 body bytes, no exports) shifts the chain
+     record's end to byte 24; the chain carries one pivot hint. *)
+  let v3 = Buffer.create 32 in
+  Buffer.add_string v3 Proof.Binfmt.magic;
+  Buffer.add_char v3 (Char.chr Proof.Binfmt.version_hinted);
+  List.iter (Buffer.add_char v3)
+    [
+      '\003'; '\001'; '\003'; '\014'; '\000';
+      '\000'; '\001'; '\000';
+      '\000'; '\001'; '\001';
+      '\003'; '\001'; '\000';
+      '\002'; '\002'; '\002'; '\001'; '\000';
+    ];
+  let expected = "chain 2, byte 24: antecedent 0 is dead (deleted before its last use)" in
+  (match Proof.Hint_check.check (Buffer.contents v3) with
+  | Ok _ -> Alcotest.fail "hinted use-after-delete accepted"
+  | Error e ->
+    Alcotest.(check (option int)) "hinted chain attributed" (Some 2) e.Proof.Hint_check.chain;
+    Alcotest.(check string) "hinted message format" expected
+      (Format.asprintf "%a" Proof.Hint_check.pp_error e));
+  match Proof.Stream_check.check (Buffer.contents v3) with
+  | Ok _ -> Alcotest.fail "stream accepted hinted use-after-delete"
+  | Error e ->
+    Alcotest.(check string) "stream agrees on the hinted body" expected
+      (Format.asprintf "%a" Proof.Stream_check.pp_error e)
+
+let test_hinted_wrong_hint_rejected () =
+  (* Flip the final chain's pivot hint (variable 1 -> variable 0): the
+     hinted checker fails the non-clashing resolution, the searching
+     checker fails the hint cross-check — both must reject without
+     classifying the bytes as corrupt. *)
+  let proof, root = hand_refutation () in
+  let data = Proof.Binfmt.encode_hinted proof ~root in
+  (* The last byte of the final chain record is its single pivot. *)
+  let flipped =
+    String.mapi
+      (fun i c -> if i = String.length data - 1 then Char.chr (Char.code c lxor 1) else c)
+      data
+  in
+  (match Proof.Hint_check.check flipped with
+  | Ok _ -> Alcotest.fail "wrong hint accepted by the hinted checker"
+  | Error e -> Alcotest.(check bool) "semantic, not malformed" false e.Proof.Hint_check.malformed);
+  match Proof.Stream_check.check flipped with
+  | Ok _ -> Alcotest.fail "wrong hint accepted by the stream checker"
+  | Error e ->
+    Alcotest.(check bool) "semantic, not malformed" false e.Proof.Stream_check.malformed
+
 (* --- regressions for the proof-I/O bugfixes --- *)
 
 let test_drup_skips_deletions_comments_crlf () =
@@ -671,11 +803,6 @@ let test_rup_empty_stream_error_index () =
   match Proof.Rup.check_stream (formula_of_leaves ()) [] with
   | Ok _ -> Alcotest.fail "empty stream accepted"
   | Error e -> Alcotest.(check int) "index 0, not -1" 0 e.Proof.Rup.index
-
-let contains s sub =
-  let n = String.length sub in
-  let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
-  go 0
 
 let test_trace_rejects_duplicate_id () =
   let text = "1 L 1 2 0\n1 L -1 2 0\n2 C 1 1 1 0 2 0\n" in
@@ -709,6 +836,13 @@ let binfmt_suites =
         Alcotest.test_case "stream check rejects corruption" `Quick
           test_stream_check_rejects_corruption;
         Alcotest.test_case "use-after-delete rejected" `Quick test_binfmt_delete_then_use_rejected;
+        Alcotest.test_case "hinted roundtrip hand proof" `Quick test_hinted_roundtrip_hand;
+        Alcotest.test_case "hinted sharded roundtrip" `Quick test_hinted_sharded_roundtrip;
+        Alcotest.test_case "hint checker refuses un-hinted input" `Quick
+          test_hint_check_refuses_unhinted;
+        Alcotest.test_case "rejection pins chain id and byte offset" `Quick
+          test_reject_message_pins_chain_and_offset;
+        Alcotest.test_case "wrong pivot hint rejected" `Quick test_hinted_wrong_hint_rejected;
         Alcotest.test_case "drup skips d/c/CRLF lines" `Quick test_drup_skips_deletions_comments_crlf;
         Alcotest.test_case "empty rup stream error index" `Quick test_rup_empty_stream_error_index;
         Alcotest.test_case "trace rejects duplicate id" `Quick test_trace_rejects_duplicate_id;

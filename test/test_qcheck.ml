@@ -112,7 +112,7 @@ let valid_proof =
        Aig.Miter.build (Circuits.Adder.ripple_carry 3) (Circuits.Adder.carry_lookahead 3)
      in
      match Sweep.run miter Sweep.default_config with
-     | Sweep.Proved { proof; root; formula }, _ -> (proof, root, formula)
+     | Sweep.Proved { proof; root; formula; _ }, _ -> (proof, root, formula)
      | (Sweep.Disproved _ | Sweep.Unresolved), _ -> failwith "fuzz setup failed")
 
 (* Copy the cone of [root] into a fresh store, passing every node

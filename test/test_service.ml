@@ -316,8 +316,8 @@ let test_store_rebuilds_lost_index () =
       let (_ : Cec.certificate) = find_cert reopened key ~golden ~revised in
       ())
 
-(* New entries carry the CECB binary body; the streaming checker is the
-   paranoid re-validation path for them. *)
+(* New entries carry the hinted CECB binary body; the search-free
+   hinted checker is the paranoid re-validation path for them. *)
 let test_store_writes_binary_bodies () =
   with_temp_dir "cecd-store" (fun dir ->
       let golden, revised, verdict = equivalent_pair () in
@@ -325,17 +325,35 @@ let test_store_writes_binary_bodies () =
       let store = Store.create ~dir () in
       Store.store store key verdict;
       let data = read_file (Store.entry_path store key) in
-      let expected = Printf.sprintf "cecproof-cert %d\nequivalent bin\n" Store.format_version in
-      Alcotest.(check string) "v2 header + bin verdict" expected
+      let expected = Printf.sprintf "cecproof-cert %d\nequivalent bin3\n" Store.format_version in
+      Alcotest.(check string) "v3 header + bin3 verdict" expected
         (String.sub data 0 (String.length expected));
-      Alcotest.(check bool) "CECB body" true
-        (Proof.Binfmt.is_binary
-           (String.sub data (String.length expected)
-              (String.length data - String.length expected)));
+      let body =
+        String.sub data (String.length expected) (String.length data - String.length expected)
+      in
+      Alcotest.(check bool) "hinted CECB body" true (Proof.Binfmt.is_hinted body);
       let cert = find_cert store key ~golden ~revised in
       match Certify.validate_against cert golden revised with
       | Ok _ -> ()
       | Error e -> Alcotest.failf "decoded binary certificate rejected: %a" Certify.pp_error e)
+
+(* A store directory written by format version 2 ("equivalent bin",
+   un-hinted CECB body) keeps answering hits. *)
+let test_store_reads_legacy_v2_objects () =
+  with_temp_dir "cecd-store" (fun dir ->
+      let golden, revised, verdict = equivalent_pair () in
+      let cert = match verdict with Cec.Equivalent c -> c | _ -> assert false in
+      let key = Key.of_pair golden revised in
+      let probe = Store.create ~dir () in
+      write_file (Store.entry_path probe key)
+        (Printf.sprintf "cecproof-cert 2\nequivalent bin\n%s"
+           (Proof.Binfmt.encode cert.Cec.proof ~root:cert.Cec.root));
+      let store = Store.create ~dir () in
+      let loaded = find_cert store key ~golden ~revised in
+      (match Certify.validate_against loaded golden revised with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "legacy v2 certificate rejected: %a" Certify.pp_error e);
+      Alcotest.(check int) "served as a hit" 1 (Store.stats store).Store.hits)
 
 let test_store_trace_format_roundtrip () =
   with_temp_dir "cecd-store" (fun dir ->
@@ -756,6 +774,8 @@ let suites =
           test_store_rebuilds_lost_index;
         Alcotest.test_case "binary bodies written and revalidated" `Quick
           test_store_writes_binary_bodies;
+        Alcotest.test_case "legacy v2 objects still read" `Quick
+          test_store_reads_legacy_v2_objects;
         Alcotest.test_case "trace format round-trip" `Quick test_store_trace_format_roundtrip;
         Alcotest.test_case "legacy v1 objects still read" `Quick
           test_store_reads_legacy_v1_objects;
