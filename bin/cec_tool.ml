@@ -144,11 +144,11 @@ let run_dimacs path output =
       prerr_endline msg;
       2)
 
-let engine_of_string lemma_reuse words max_conflicts mode = function
-  | "mono" | "monolithic" -> Ok Cec.Monolithic
-  | "sweep" | "sweeping" ->
-    Ok (Cec.Sweeping { Sweep.default_config with Sweep.lemma_reuse; words; max_conflicts; mode })
-  | other -> Error (Printf.sprintf "unknown engine %S (mono|sweep)" other)
+let engine_of_string lemma_reuse words max_conflicts mode name =
+  let base = { Sweep.default_config with Sweep.lemma_reuse; words; max_conflicts; mode } in
+  match Cec.engine_of_string ~base name with
+  | Some engine -> Ok engine
+  | None -> Error (Printf.sprintf "unknown engine %S (mono|sat|sweep|bdd|hybrid)" name)
 
 let print_cex cex =
   print_string "counterexample: ";
@@ -523,12 +523,12 @@ let run_bmc path frames engine_name sweep_mode =
 
 let mb_to_bytes = Option.map (fun mb -> mb * 1024 * 1024)
 
-let service_engine jobs budget sweep_mode =
+let service_engine jobs budget sweep_mode portfolio =
   let base =
     {
       Service.Engine.default_config with
       Service.Engine.jobs;
-      engine = Cec.Sweeping { Sweep.default_config with Sweep.mode = sweep_mode };
+      engine = Cec.Sweeping { Sweep.default_config with Sweep.mode = sweep_mode; portfolio };
     }
   in
   match budget with None -> base | Some _ -> { base with Service.Engine.budget = budget }
@@ -559,7 +559,7 @@ let listen_addrs socket listens =
     | addrs -> Ok addrs)
 
 let run_serve socket listens store capacity_mb no_paranoid workers queue jobs budget sweep_mode
-    timeout_ms quiet stats_out trace_out faults =
+    portfolio timeout_ms quiet stats_out trace_out faults =
   with_faults faults @@ fun () ->
   match listen_addrs socket listens with
   | Error msg ->
@@ -574,7 +574,7 @@ let run_serve socket listens store capacity_mb no_paranoid workers queue jobs bu
         paranoid = not no_paranoid;
         workers;
         queue_capacity = queue;
-        engine = service_engine jobs budget sweep_mode;
+        engine = service_engine jobs budget sweep_mode portfolio;
         default_timeout_ms = timeout_ms;
         log = not quiet;
         stats_out;
@@ -688,7 +688,7 @@ let run_route listen shard_specs replicas vnodes workers max_inflight queue prob
       2)
 
 let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget sweep_mode
-    timeout_ms stats_out trace_out faults =
+    portfolio timeout_ms stats_out trace_out faults =
   with_faults faults @@ fun () ->
   match Service.Batch.parse_manifest manifest with
   | Error msg ->
@@ -710,7 +710,7 @@ let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget
     let s =
       Obs.with_ambient reg (fun () ->
           Service.Batch.run ~store
-            ~engine:(service_engine jobs budget sweep_mode)
+            ~engine:(service_engine jobs budget sweep_mode portfolio)
             ?timeout_ms ~on_result
             pairs)
     in
@@ -847,9 +847,28 @@ let sweep_mode_arg =
            loaded once, queries issued as solver assumptions, learned clauses and proved lemmas \
            carried across queries).")
 
+let portfolio_conv =
+  Arg.enum [ ("sat", Sweep.Sat_only); ("bdd", Sweep.Bdd_first); ("hybrid", Sweep.Hybrid) ]
+
+let service_engine_arg =
+  Arg.(
+    value
+    & opt portfolio_conv Sweep.Sat_only
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Candidate-settling portfolio for the sweeping engine: $(b,sat) (default), $(b,bdd) \
+           or $(b,hybrid).  Certificates are resolution-only in every portfolio.")
+
 let cec_cmd =
   let engine =
-    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+    Arg.(
+      value & opt string "sweep"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,mono) (one monolithic SAT call), $(b,sat)/$(b,sweep) (pure SAT sweeping), \
+             $(b,bdd) (bounded BDD probe before every SAT query) or $(b,hybrid) (cone-feature \
+             selector routing candidates between BDD, SAT and a race).  All engines emit the \
+             same resolution-only certificates.")
   in
   let words =
     Arg.(
@@ -959,7 +978,14 @@ let opt_cmd =
 let bounded_cmd =
   let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Unrolling depth.") in
   let engine =
-    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+    Arg.(
+      value & opt string "sweep"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,mono) (one monolithic SAT call), $(b,sat)/$(b,sweep) (pure SAT sweeping), \
+             $(b,bdd) (bounded BDD probe before every SAT query) or $(b,hybrid) (cone-feature \
+             selector routing candidates between BDD, SAT and a race).  All engines emit the \
+             same resolution-only certificates.")
   in
   Cmd.v
     (Cmd.info "bounded"
@@ -971,7 +997,14 @@ let bounded_cmd =
 let bmc_cmd =
   let frames = Arg.(value & opt int 8 & info [ "frames" ] ~doc:"Unrolling depth.") in
   let engine =
-    Arg.(value & opt string "sweep" & info [ "engine" ] ~docv:"ENGINE" ~doc:"mono or sweep.")
+    Arg.(
+      value & opt string "sweep"
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "$(b,mono) (one monolithic SAT call), $(b,sat)/$(b,sweep) (pure SAT sweeping), \
+             $(b,bdd) (bounded BDD probe before every SAT query) or $(b,hybrid) (cone-feature \
+             selector routing candidates between BDD, SAT and a race).  All engines emit the \
+             same resolution-only certificates.")
   in
   Cmd.v
     (Cmd.info "bmc"
@@ -1080,8 +1113,8 @@ let serve_cmd =
          ])
     Term.(
       const run_serve $ socket_arg $ listen_arg $ store_arg $ capacity_arg $ no_paranoid_arg
-      $ workers $ queue $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg
-      $ quiet $ stats_out_arg $ trace_out_arg $ faults_arg)
+      $ workers $ queue $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg
+      $ service_engine_arg $ timeout_ms_arg $ quiet $ stats_out_arg $ trace_out_arg $ faults_arg)
 
 let client_cmd =
   let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe.") in
@@ -1239,8 +1272,8 @@ let batch_cmd =
          ])
     Term.(
       const run_batch $ manifest $ store_arg $ capacity_arg $ no_paranoid_arg $ cert_format
-      $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ timeout_ms_arg $ stats_out_arg
-      $ trace_out_arg $ faults_arg)
+      $ service_jobs_arg $ service_budget_arg $ sweep_mode_arg $ service_engine_arg
+      $ timeout_ms_arg $ stats_out_arg $ trace_out_arg $ faults_arg)
 
 let fsck_cmd =
   Cmd.v

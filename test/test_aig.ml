@@ -164,6 +164,27 @@ let prop_truth_table_matches_eval =
       done;
       !ok)
 
+let test_truth_table_wide_cone () =
+  (* 17 inputs is past the exhaustive-simulation limit: the exception
+     variant must refuse, the total variant must return None (the
+     portfolio selector relies on this degrading instead of raising),
+     and at exactly 16 inputs both must still work. *)
+  let wide = Aig.create ~num_inputs:17 in
+  Aig.add_output wide (Aig.and_list wide (List.init 17 (Aig.input wide)));
+  (match Sim.truth_table wide (Aig.output wide 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "truth_table accepted a 17-input graph");
+  Alcotest.(check bool) "truth_table_opt is None past 16 inputs" true
+    (Sim.truth_table_opt wide (Aig.output wide 0) = None);
+  let limit = Aig.create ~num_inputs:16 in
+  Aig.add_output limit (Aig.and_list limit (List.init 16 (Aig.input limit)));
+  match Sim.truth_table_opt limit (Aig.output limit 0) with
+  | None -> Alcotest.fail "truth_table_opt refused a 16-input graph"
+  | Some tt ->
+    Alcotest.(check int) "16-input table spans 1024 words" 1024 (Array.length tt);
+    if tt = Sim.truth_table limit (Aig.output limit 0) then () else
+      Alcotest.fail "total and raising variants disagree at the limit"
+
 let test_set_input_bit () =
   let g = Aig.create ~num_inputs:1 in
   Aig.add_output g (Aig.input g 0);
@@ -312,6 +333,7 @@ let base_suites =
         prop_check_invariants;
         prop_sim_matches_eval;
         prop_truth_table_matches_eval;
+        Alcotest.test_case "truth table wide-cone guard" `Quick test_truth_table_wide_cone;
         Alcotest.test_case "set_input_bit" `Quick test_set_input_bit;
         Alcotest.test_case "cone support" `Quick test_cone_support;
         prop_extract_cone_preserves;

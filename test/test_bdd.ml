@@ -144,6 +144,87 @@ let test_equiv_agrees_with_sat () =
     | Bdd.Equiv.Blowup -> Alcotest.failf "blowup on tiny instance %d" seed
   done
 
+(* --- differential qcheck: the BDD baseline against the SAT engine --- *)
+
+module Cec = Cec_core.Cec
+
+let qtest ?(count = 40) name prop =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.nat in
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~name ~count arb prop)
+
+let random_pair seed =
+  let num_inputs = 4 + (seed mod 3) in
+  let golden =
+    Circuits.Random_aig.generate
+      (Rng.create (1 + seed))
+      ~num_inputs ~num_ands:(15 + (seed mod 30)) ~num_outputs:(1 + (seed mod 2))
+  in
+  let revised = Circuits.Rewrite.restructure (Rng.create (11 * seed)) golden in
+  if seed mod 3 = 1 then begin
+    let o = seed mod Aig.num_outputs revised in
+    Aig.set_output revised o (Aig.Lit.neg (Aig.output revised o))
+  end;
+  (golden, revised)
+
+(* Same verdict as the SAT engine on every random pair, and every
+   Inequivalent model must replay through [Aig.eval] as a genuine
+   distinguishing assignment.  The default node cap must never blow up
+   on instances this small. *)
+let prop_check_matches_sat =
+  qtest "check agrees with the SAT engine" (fun seed ->
+      let golden, revised = random_pair seed in
+      let bdd = (Bdd.Equiv.check golden revised).Bdd.Equiv.verdict in
+      let sat = (Cec.check (Cec.Sweeping Cec_core.Sweep.default_config) golden revised).Cec.verdict in
+      match (bdd, sat) with
+      | Bdd.Equiv.Equivalent, Cec.Equivalent _ -> true
+      | Bdd.Equiv.Inequivalent cex, Cec.Inequivalent _ ->
+        (Aig.eval (Aig.Miter.build golden revised) cex).(0)
+      | Bdd.Equiv.Blowup, _ ->
+        QCheck.Test.fail_reportf "seed %d: blowup under the default cap on a tiny instance" seed
+      | _ ->
+        QCheck.Test.fail_reportf "seed %d: BDD and SAT verdicts disagree" seed)
+
+(* [check_pair] is the portfolio's cone query: outputs 0 and 1 of one
+   graph.  An Inequivalent assignment must distinguish exactly those
+   two outputs under [Aig.eval]; Equivalent is checked exhaustively
+   (the generated cones are narrow enough). *)
+let prop_check_pair_cex_maps =
+  qtest "check_pair models distinguish the outputs" (fun seed ->
+      let num_inputs = 3 + (seed mod 4) in
+      let g =
+        Circuits.Random_aig.generate (Rng.create seed) ~num_inputs ~num_ands:(10 + (seed mod 25))
+          ~num_outputs:2
+      in
+      match (Bdd.Equiv.check_pair g).Bdd.Equiv.verdict with
+      | Bdd.Equiv.Inequivalent cex ->
+        let v = Aig.eval g cex in
+        v.(0) <> v.(1)
+      | Bdd.Equiv.Equivalent ->
+        let ok = ref true in
+        for mask = 0 to (1 lsl num_inputs) - 1 do
+          let assignment = Array.init num_inputs (fun i -> (mask lsr i) land 1 = 1) in
+          let v = Aig.eval g assignment in
+          if v.(0) <> v.(1) then ok := false
+        done;
+        !ok
+      | Bdd.Equiv.Blowup ->
+        QCheck.Test.fail_reportf "seed %d: blowup under the default cap" seed)
+
+(* A starved cap may force Blowup but must never change an answer:
+   whatever the tiny-cap run returns, if it is not Blowup it has to be
+   the default-cap verdict. *)
+let prop_tiny_cap_never_lies =
+  qtest ~count:20 "tiny cap blows up or agrees, never lies" (fun seed ->
+      let golden, revised = random_pair seed in
+      let full = (Bdd.Equiv.check golden revised).Bdd.Equiv.verdict in
+      let tiny = (Bdd.Equiv.check ~max_nodes:16 golden revised).Bdd.Equiv.verdict in
+      match (tiny, full) with
+      | Bdd.Equiv.Blowup, _ -> true
+      | Bdd.Equiv.Equivalent, Bdd.Equiv.Equivalent -> true
+      | Bdd.Equiv.Inequivalent cex, Bdd.Equiv.Inequivalent _ ->
+        (Aig.eval (Aig.Miter.build golden revised) cex).(0)
+      | _ -> QCheck.Test.fail_reportf "seed %d: starved cap changed the verdict" seed)
+
 let suites =
   [
     ( "bdd",
@@ -160,5 +241,8 @@ let suites =
         Alcotest.test_case "equiv detects difference" `Quick test_equiv_detects_difference;
         Alcotest.test_case "equiv blowup reported" `Quick test_equiv_blowup_reported;
         Alcotest.test_case "equiv agrees with sat engines" `Quick test_equiv_agrees_with_sat;
+        prop_check_matches_sat;
+        prop_check_pair_cex_maps;
+        prop_tiny_cap_never_lies;
       ] );
   ]

@@ -137,6 +137,28 @@ let prop_resynth_matches_truth =
       done;
       !ok)
 
+(* Full round trip at every width the portfolio selector feeds ISOP:
+   materialize both the direct cover and the complemented cover and
+   check both against the truth table bit-for-bit — the cheaper-form
+   choice inside [of_truth] must never change the function. *)
+let prop_resynth_round_trip_all_widths =
+  qtest "isop/of_truth round-trips at every width" ~count:200
+    (QCheck.make
+       ~print:(fun (v, t) -> Printf.sprintf "vars=%d truth=%Ld" v t)
+       QCheck.Gen.(pair (int_range 1 6) (map Int64.of_int int)))
+    (fun (vars, raw) ->
+      let truth = Int64.logand raw (Isop.full_mask vars) in
+      let ntruth = Int64.logand (Int64.lognot truth) (Isop.full_mask vars) in
+      let g = Aig.create ~num_inputs:vars in
+      let leaves = Array.init vars (Aig.input g) in
+      let chosen = Synth.Resynth.of_truth g leaves truth in
+      let direct = Synth.Resynth.sop_to_aig g leaves (Isop.compute ~vars truth) in
+      let complemented = Aig.Lit.neg (Synth.Resynth.sop_to_aig g leaves (Isop.compute ~vars ntruth)) in
+      let table lit =
+        Int64.logand (Aig.Sim.truth_table g lit).(0) (Isop.full_mask vars)
+      in
+      table chosen = truth && table direct = truth && table complemented = truth)
+
 (* --- cut sweeping --- *)
 
 let same_function a b =
