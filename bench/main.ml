@@ -1178,14 +1178,17 @@ type p7_outcome = {
 
 (* [clients] closed-loop generators share one request counter; each
    draws keys from its own seeded zipf stream. *)
-let p7_closed_loop ~router ~pairs ~cdf ~clients ~total =
+let p7_closed_loop ?config ~router ~pairs ~cdf ~clients ~total () =
   let client_cfg =
-    {
-      Service.Client.default_config with
-      Service.Client.retries = 3;
-      base_delay_ms = 5.0;
-      connect_timeout_ms = Some 2000.;
-    }
+    match config with
+    | Some c -> c
+    | None ->
+      {
+        Service.Client.default_config with
+        Service.Client.retries = 3;
+        base_delay_ms = 5.0;
+        connect_timeout_ms = Some 2000.;
+      }
   in
   let next = Atomic.make 0 in
   let run_client c =
@@ -1262,7 +1265,7 @@ let p7 () =
       pairs;
     (* Warm phase, measured: closed-loop zipf traffic. *)
     let t0 = Unix.gettimeofday () in
-    let o = p7_closed_loop ~router ~pairs ~cdf ~clients ~total:warm_requests in
+    let o = p7_closed_loop ~router ~pairs ~cdf ~clients ~total:warm_requests () in
     let wall = Unix.gettimeofday () -. t0 in
     ignore (Service.Server.request_addr router "shutdown");
     ignore (Domain.join router_domain);
@@ -1352,7 +1355,7 @@ let p7 () =
     let victim_id, victim_addr, victim_domain = List.hd shards in
     let t0 = Unix.gettimeofday () in
     let loadgen =
-      Domain.spawn (fun () -> p7_closed_loop ~router ~pairs ~cdf ~clients:4 ~total)
+      Domain.spawn (fun () -> p7_closed_loop ~router ~pairs ~cdf ~clients:4 ~total ())
     in
     (* Kill one shard roughly mid-run (the load takes ~2-3s). *)
     Unix.sleepf 1.0;
@@ -1403,6 +1406,211 @@ let p7 () =
   Out_channel.with_open_text "BENCH_p7.json" (fun oc ->
       output_string oc (Obs.Export.stats_json merged));
   Printf.printf "wrote BENCH_p7.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
+
+(* --- P10: chaos — live reconfiguration under network faults --- *)
+
+(* A 3-shard fleet (replicas = 2) under closed-loop zipf load and a
+   chaos fault spec — every shard connection slow, some dropped
+   mid-reply, reset, or black-holed for a window — while one shard is
+   drained, removed and re-joined without a restart.  Acceptance:
+   every request gets a typed response (no transport errors), no
+   verdict is ever wrong, no latency exceeds the client deadline, the
+   ring epoch lands exactly where the admin sequence says it must with
+   a movement fraction inside the consistent-hash bound, and sampled
+   certificates from the surviving stores still pass the search-free
+   hinted checker.  Gauges go to BENCH_p10.json. *)
+
+let p10 () =
+  let num_keys = 16 and zipf_s = 1.1 and clients = 4 and total = 200 in
+  let merged = Obs.Registry.create () in
+  let gauge name v = Obs.Gauge.set (Obs.Registry.gauge merged ("bench.p10." ^ name)) v in
+  let cdf = p7_zipf_cdf num_keys zipf_s in
+  p7_with_temp_dir "cecd-p10" @@ fun dir ->
+  let pairs = p7_pairs dir num_keys in
+  (* Every load request carries its own 5s end-to-end budget. *)
+  let budgeted = Array.map (fun (line, e) -> (line ^ " 5000", e)) pairs in
+  let shards = List.init 3 (fun i -> p7_start_shard dir (Printf.sprintf "s%d" i)) in
+  let router, router_domain = p7_start_router ~shards ~replicas:2 in
+  (* Cold pass, fault-free: populate the stores. *)
+  Array.iter
+    (fun (line, expected) ->
+      match Service.Server.request_addr router line with
+      | Ok r when Service.Protocol.field "status" r = Some expected -> ()
+      | Ok r -> failwith ("p10: cold pass answered " ^ r)
+      | Error msg -> failwith ("p10: cold pass failed: " ^ msg))
+    pairs;
+  (* Wait for warm replication, so losing a shard costs no data. *)
+  let rec wait_replicated n =
+    if n = 0 then failwith "p10: replication never warmed the standbys";
+    match Service.Server.request_addr router "stats" with
+    | Ok line
+      when (match Service.Protocol.field "replicated" line with
+           | Some v -> (
+             match int_of_string_opt v with Some r -> r >= num_keys | None -> false)
+           | None -> false) ->
+      ()
+    | _ ->
+      Unix.sleepf 0.1;
+      wait_replicated (n - 1)
+  in
+  wait_replicated 100;
+  (match
+     Fault.parse "peer.slow:1.0,peer.drop:0.05,peer.reset:0.05,peer.partition:0.02@seed=11"
+   with
+  | Ok spec -> Fault.install spec
+  | Error e -> failwith ("p10: bad fault spec: " ^ e));
+  Fun.protect ~finally:Fault.disable @@ fun () ->
+  let config =
+    {
+      Service.Client.default_config with
+      Service.Client.retries = 4;
+      base_delay_ms = 10.0;
+      connect_timeout_ms = Some 2000.;
+      deadline_ms = Some 8000.;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let loadgen =
+    Domain.spawn (fun () -> p7_closed_loop ~config ~router ~pairs:budgeted ~cdf ~clients ~total ())
+  in
+  (* Mid-run: drain, remove and re-join shard s0 (its daemon stays up
+     throughout — only its ring membership changes). *)
+  let admin line =
+    match Service.Server.request_addr router line with
+    | Ok r when Service.Protocol.field "ok" r = Some "true" -> r
+    | Ok r -> failwith (Printf.sprintf "p10: %S answered %s" line r)
+    | Error msg -> failwith (Printf.sprintf "p10: %S failed: %s" line msg)
+  in
+  let _, s0_addr, _ = List.hd shards in
+  Unix.sleepf 0.8;
+  ignore (admin "drain s0");
+  Unix.sleepf 0.3;
+  let leave = admin "leave s0" in
+  Unix.sleepf 0.3;
+  let join = admin (Printf.sprintf "join s0 %s" (Service.Addr.to_string s0_addr)) in
+  let o = Domain.join loadgen in
+  let wall = Unix.gettimeofday () -. t0 in
+  (* Chaos off and the last partition window lapsed before the
+     shutdown handshakes (a black-holed shard would park them). *)
+  Fault.disable ();
+  Unix.sleepf 0.6;
+  ignore (Service.Server.request_addr router "shutdown");
+  let final = Domain.join router_domain in
+  List.iter
+    (fun (_, addr, domain) ->
+      ignore (Service.Server.request_addr addr "shutdown");
+      ignore (Domain.join domain))
+    shards;
+  (* Acceptance. *)
+  if o.wrong > 0 then failwith (Printf.sprintf "p10: %d wrong verdicts under chaos" o.wrong);
+  if o.no_response > 0 then
+    failwith (Printf.sprintf "p10: %d requests got no typed response" o.no_response);
+  let worst = if Array.length o.latencies = 0 then 0.0 else o.latencies.(Array.length o.latencies - 1) in
+  if worst > 8500.0 then
+    failwith (Printf.sprintf "p10: worst latency %.0fms exceeds the 8s client deadline" worst);
+  (match Service.Protocol.field "epoch" join with
+  | Some "2" -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "p10: epoch %S after leave+join (expected 2)"
+         (Option.value ~default:"missing" other)));
+  let moved =
+    float_of_string (Option.value ~default:"0" (Service.Protocol.field "moved_fraction" join))
+  in
+  if moved <= 0.0 || moved > 0.67 then
+    failwith (Printf.sprintf "p10: re-join moved fraction %.3f outside (0, 2/3]" moved);
+  let c name = Obs.Counter.get (Obs.Registry.counter final ("fleet." ^ name)) in
+  if c "joins" <> 1 || c "leaves" <> 1 || c "drains" <> 1 then
+    failwith
+      (Printf.sprintf "p10: admin counters joins=%d leaves=%d drains=%d" (c "joins") (c "leaves")
+         (c "drains"));
+  (* Sampled certificates from the surviving stores still verify with
+     the search-free hinted checker. *)
+  let store_dirs = List.map (fun (id, _, _) -> Filename.concat dir ("store-" ^ id)) shards in
+  let certs_checked = ref 0 in
+  Array.iteri
+    (fun i (_, expected) ->
+      if expected = "equivalent" && !certs_checked < 3 then begin
+        let load p =
+          match Service.Server.load_netlist p with
+          | Ok g -> Service.Key.normalize g
+          | Error e -> failwith ("p10: " ^ e)
+        in
+        let golden = load (Filename.concat dir (Printf.sprintf "p7-g%d.aig" i)) in
+        let revised = load (Filename.concat dir (Printf.sprintf "p7-r%d.aig" i)) in
+        let key = Service.Key.of_pair golden revised in
+        let found = ref false in
+        List.iter
+          (fun store_dir ->
+            if not !found then
+              let store = Service.Store.create ~dir:store_dir () in
+              match Service.Store.find store key ~golden ~revised with
+              | Some (Cec.Equivalent cert) ->
+                found := true;
+                let formula = Cnf.Tseitin.miter_formula (Aig.Miter.build golden revised) in
+                let bin =
+                  Proof.Binfmt.encode_hinted ~boundaries:cert.Cec.boundaries cert.Cec.proof
+                    ~root:cert.Cec.root
+                in
+                (match Proof.Hint_check.check ~formula ~jobs:2 bin with
+                | Ok _ -> incr certs_checked
+                | Error e ->
+                  failwith
+                    (Format.asprintf "p10: stored certificate rejected: %a"
+                       Proof.Hint_check.pp_error e))
+              | _ -> ())
+          store_dirs;
+        if not !found then failwith "p10: certificate not found in any store"
+      end)
+    pairs;
+  let response_rate =
+    100.0 *. float_of_int o.answered /. float_of_int (max 1 (o.answered + o.no_response))
+  in
+  gauge "response_rate" response_rate;
+  gauge "no_response" (float_of_int o.no_response);
+  gauge "wrong" (float_of_int o.wrong);
+  gauge "typed_errors" (float_of_int o.typed_errors);
+  gauge "degraded" (float_of_int o.degraded);
+  gauge "p50_ms" (p7_pct o.latencies 0.50);
+  gauge "p99_ms" (p7_pct o.latencies 0.99);
+  gauge "worst_ms" worst;
+  gauge "throughput_rps" (float_of_int o.answered /. wall);
+  gauge "epoch" 2.0;
+  gauge "moved_fraction_rejoin" moved;
+  gauge "leave_drained"
+    (if Service.Protocol.field "drained" leave = Some "true" then 1.0 else 0.0);
+  gauge "joins" (float_of_int (c "joins"));
+  gauge "leaves" (float_of_int (c "leaves"));
+  gauge "drains" (float_of_int (c "drains"));
+  gauge "coalesced" (float_of_int (c "coalesced"));
+  gauge "deadline_exceeded" (float_of_int (c "deadline_exceeded"));
+  gauge "stalled_forwards" (float_of_int (c "stalled_forwards"));
+  gauge "failovers" (float_of_int (c "failovers"));
+  gauge "certs_checked" (float_of_int !certs_checked);
+  Tables.print
+    ~title:
+      (Printf.sprintf
+         "P10: chaos fleet (3 shards, replicas=2, %d clients, %d requests, zipf s=%.1f over %d \
+          keys; drop 5%%, reset 5%%, partition 2%%, 50ms slow; drain+leave+rejoin s0 mid-run)"
+         clients total zipf_s num_keys)
+    ~columns:[ "answered"; "no-resp"; "typed"; "wrong"; "p50"; "p99"; "worst"; "epoch"; "certs" ]
+    ~rows:
+      [
+        [
+          string_of_int o.answered;
+          string_of_int o.no_response;
+          string_of_int o.typed_errors;
+          string_of_int o.wrong;
+          Tables.fmt_ms (p7_pct o.latencies 0.50 /. 1000.0);
+          Tables.fmt_ms (p7_pct o.latencies 0.99 /. 1000.0);
+          Tables.fmt_ms (worst /. 1000.0);
+          "2";
+          string_of_int !certs_checked;
+        ];
+      ];
+  Out_channel.with_open_text "BENCH_p10.json" (fun oc ->
+      output_string oc (Obs.Export.stats_json merged));
+  Printf.printf "wrote BENCH_p10.json (%d gauges)\n" (List.length (Obs.Registry.gauges merged))
 
 (* --- P8: hinted certificate checking vs solving --- *)
 
@@ -1794,6 +2002,7 @@ let experiments =
     ("p7", p7);
     ("p8", p8);
     ("p9", p9);
+    ("p10", p10);
   ]
 
 let () =
@@ -1810,7 +2019,7 @@ let () =
       | None ->
         if name = "bechamel" then run_bechamel ()
         else begin
-          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p9, bechamel)\n" name;
+          Printf.eprintf "unknown experiment %S (t1-t7/t2h, f1-f8, p1-p10, bechamel)\n" name;
           exit 2
         end)
     selected

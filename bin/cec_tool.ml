@@ -603,6 +603,9 @@ let run_client socket connects connect_timeout_ms ping stats metrics shutdown ti
         Service.Client.retries = max 0 retries;
         base_delay_ms = retry_delay_ms;
         connect_timeout_ms;
+        (* The request deadline also caps the client's own retry loop,
+           with a grace second for the (typed) response to travel. *)
+        deadline_ms = Option.map (fun ms -> float_of_int ms +. 1000.) timeout_ms;
       }
     in
     let send req =
@@ -648,7 +651,8 @@ let parse_shard spec =
   | Error msg -> Error (Printf.sprintf "shard %S: %s" spec msg)
 
 let run_route listen shard_specs replicas vnodes workers max_inflight queue probe_interval_ms
-    connect_timeout_ms retry_after_ms quiet stats_out =
+    connect_timeout_ms retry_after_ms request_timeout_ms probe_timeout_ms drain_timeout_ms quiet
+    stats_out =
   let shards =
     List.fold_left
       (fun acc spec ->
@@ -674,6 +678,9 @@ let run_route listen shard_specs replicas vnodes workers max_inflight queue prob
         probe_interval_ms;
         connect_timeout_ms;
         retry_after_ms;
+        request_timeout_ms;
+        probe_timeout_ms;
+        drain_timeout_ms;
         log = not quiet;
         stats_out;
       }
@@ -686,6 +693,45 @@ let run_route listen shard_specs replicas vnodes workers max_inflight queue prob
     | exception Unix.Unix_error (e, fn, arg) ->
       Printf.eprintf "%s(%s): %s\n" fn arg (Unix.error_message e);
       2)
+
+(* Ring administration against a running router: exactly one of
+   --join/--leave/--drain, sent as a single protocol request. *)
+let run_fleet_admin connects connect_timeout_ms join leave drain =
+  let request =
+    match (join, leave, drain) with
+    | Some spec, None, None -> (
+      match String.index_opt spec '=' with
+      | Some i when i > 0 ->
+        Ok
+          (Service.Protocol.Join
+             {
+               id = String.sub spec 0 i;
+               addr = String.sub spec (i + 1) (String.length spec - i - 1);
+             })
+      | _ -> Error "fleet-admin: --join expects ID=ADDR")
+    | None, Some id, None -> Ok (Service.Protocol.Leave { id })
+    | None, None, Some id -> Ok (Service.Protocol.Drain { id })
+    | None, None, None -> Error "fleet-admin: expected one of --join/--leave/--drain"
+    | _ -> Error "fleet-admin: --join/--leave/--drain are mutually exclusive"
+  in
+  match (listen_addrs None connects, request) with
+  | Error _, _ ->
+    prerr_endline "fleet-admin: expected --connect ADDR (the router)";
+    2
+  | _, Error msg ->
+    prerr_endline msg;
+    2
+  | Ok addrs, Ok request -> (
+    let config = { Service.Client.default_config with connect_timeout_ms } in
+    match
+      Service.Client.request_to ~config addrs (Service.Protocol.print_request request)
+    with
+    | Error msg ->
+      prerr_endline msg;
+      2
+    | Ok line ->
+      print_endline line;
+      (match Service.Protocol.field "error" line with Some _ -> 2 | None -> 0))
 
 let run_batch manifest store_dir capacity_mb no_paranoid cert_format jobs budget sweep_mode
     portfolio timeout_ms stats_out trace_out faults =
@@ -784,8 +830,9 @@ let faults_arg =
            $(b,store.write:0.05,worker.crash:0.01@seed=42): each named injection point fires \
            with the given probability, drawn from one seeded PRNG stream so a spec replays the \
            same fault schedule.  Points: store.write, store.torn_write, store.corrupt, \
-           worker.crash, engine.budget, proof.lift, peer.slow.  Omitted = disabled (the points \
-           compile to a single boolean load).")
+           worker.crash, engine.budget, proof.lift, peer.slow, peer.drop, peer.reset, \
+           peer.partition.  Omitted = disabled (the points compile to a single boolean \
+           load).")
 
 let cert_format_conv =
   Arg.enum
@@ -1228,6 +1275,30 @@ let route_cmd =
       & info [ "retry-after-ms" ] ~docv:"MS"
           ~doc:"Retry hint carried by $(b,overloaded) rejections.")
   in
+  let request_timeout =
+    Arg.(
+      value & opt float 10_000.
+      & info [ "request-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "End-to-end budget for requests that carry no $(b,TIMEOUT_MS) of their own; a \
+             request whose budget runs out is answered with a typed $(b,deadline_exceeded) \
+             error instead of hanging.")
+  in
+  let probe_timeout =
+    Arg.(
+      value & opt float 1_000.
+      & info [ "probe-timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Response deadline per health probe: a shard that accepts the connection but \
+             never answers is marked down instead of wedging the prober.")
+  in
+  let drain_timeout =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "drain-timeout-ms" ] ~docv:"MS"
+          ~doc:"How long $(b,leave) waits for a shard's in-flight work before removing it \
+                anyway.")
+  in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress router logging to stderr.") in
   Cmd.v
     (Cmd.info "route" ~doc:"Run the fleet router over a ring of shard daemons."
@@ -1239,11 +1310,61 @@ let route_cmd =
               $(b,check)'s structural key over the shard ring, so repeated and equivalent \
               requests land on the shard that already holds the certificate.  Failed shards \
               are probed, skipped and failed over; $(b,client --metrics) against the router \
-              returns the merged fleet-wide snapshot.";
+              returns the merged fleet-wide snapshot.  The ring reconfigures live via \
+              $(b,fleet-admin) (join/leave/drain) — no restart, observable through the \
+              $(b,epoch) and $(b,moved_fraction) fields of $(b,client --stats).";
          ])
     Term.(
       const run_route $ listen $ shard $ replicas $ vnodes $ workers $ max_inflight $ queue
-      $ probe $ connect_timeout $ retry_after $ quiet $ stats_out_arg)
+      $ probe $ connect_timeout $ retry_after $ request_timeout $ probe_timeout $ drain_timeout
+      $ quiet $ stats_out_arg)
+
+let fleet_admin_cmd =
+  let connect =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:"Router address (Unix socket path or $(b,HOST:PORT)).")
+  in
+  let join =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "join" ] ~docv:"ID=ADDR"
+          ~doc:
+            "Add shard $(i,ID) (listening on $(i,ADDR)) to the ring.  The router warms the \
+             new shard up by replaying recently routed keys it now owns.")
+  in
+  let leave =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "leave" ] ~docv:"ID"
+          ~doc:
+            "Drain shard $(i,ID), wait for its in-flight work (bounded by the router's \
+             $(b,--drain-timeout-ms)), then remove it from the ring.")
+  in
+  let drain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drain" ] ~docv:"ID"
+          ~doc:
+            "Flip shard $(i,ID) to replica-only: it stops receiving forwards and replication \
+             but keeps its ring arc, so a later $(b,--join) is cheap.")
+  in
+  Cmd.v
+    (Cmd.info "fleet-admin" ~doc:"Reconfigure a running fleet router's ring."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Sends one ring-administration request to a router started with $(b,route) and \
+              prints its one-line JSON response (new epoch, sampled moved-key fraction, \
+              warm-up count).  Exit code 0 on an $(b,ok) response, 2 otherwise.";
+         ])
+    Term.(const run_fleet_admin $ connect $ connect_timeout_arg $ join $ leave $ drain)
 
 let batch_cmd =
   let manifest =
@@ -1307,6 +1428,7 @@ let commands =
     serve_cmd;
     client_cmd;
     route_cmd;
+    fleet_admin_cmd;
     batch_cmd;
     fsck_cmd;
   ]

@@ -20,6 +20,9 @@ let known_points =
     ("engine.budget", "solver budget blowout: round aborted before completion");
     ("proof.lift", "failure while lifting/stitching partition refutations");
     ("peer.slow", "peer stalls: artificial delay handling a connection");
+    ("peer.drop", "peer closes the connection mid-response (truncated reply)");
+    ("peer.reset", "peer resets the connection (ECONNRESET) instead of replying");
+    ("peer.partition", "peer black-holed: connections accepted but never answered for a window");
   ]
 
 let valid_point name =

@@ -66,5 +66,9 @@ val fire : string -> bool
 val inject : string -> unit
 
 (** The injection points consulted by this codebase, with what each
-    one simulates (documentation; {!parse} does not restrict names). *)
+    one simulates (documentation; {!parse} does not restrict names).
+    The [peer.*] family models network-level failure: [peer.slow]
+    (stall), [peer.drop] (close mid-response), [peer.reset]
+    (ECONNRESET instead of a reply) and [peer.partition] (black-hole:
+    connections are accepted but never answered for a window). *)
 val known_points : (string * string) list

@@ -94,3 +94,17 @@ let lookup ?(n = 1) t key =
   end
 
 let owner t key = match lookup ~n:1 t key with [] -> None | id :: _ -> Some id
+
+(* Sampled estimate of how much of the key space changed primary owner
+   between two rings — what a reconfiguration actually moved.  The
+   synthetic keys go through the same [hash_key] stream as real ones,
+   so the estimate inherits consistent hashing's movement bound
+   (≈ vnodes-of-changed-shards / total vnodes). *)
+let moved_fraction ?(keys = 1024) ~before ~after () =
+  if keys < 1 then invalid_arg "Ring.moved_fraction: keys < 1";
+  let moved = ref 0 in
+  for i = 0 to keys - 1 do
+    let key = Printf.sprintf "mf-%d" i in
+    if owner before key <> owner after key then incr moved
+  done;
+  float_of_int !moved /. float_of_int keys

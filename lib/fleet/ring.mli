@@ -55,3 +55,12 @@ val lookup : ?n:int -> t -> string -> string list
 
 (** Primary owner, the head of [lookup ~n:1]. *)
 val owner : t -> string -> string option
+
+(** [moved_fraction ~before ~after ()] estimates the fraction of the
+    key space whose {e primary} owner differs between two rings, by
+    sampling [keys] (default 1024) synthetic keys through the ordinary
+    hash stream.  For a single join or leave consistent hashing bounds
+    the true value near [1/N]; the router reports this gauge at every
+    reconfiguration so operators can see a rebalance did not reshuffle
+    the world.  @raise Invalid_argument when [keys < 1]. *)
+val moved_fraction : ?keys:int -> before:t -> after:t -> unit -> float

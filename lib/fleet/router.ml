@@ -20,6 +20,9 @@ type config = {
   connect_timeout_ms : float;
   retry_after_ms : int;
   replication_queue : int;
+  request_timeout_ms : float;
+  probe_timeout_ms : float;
+  drain_timeout_ms : float;
   log : bool;
   stats_out : string option;
   on_listen : Addr.t -> unit;
@@ -38,23 +41,49 @@ let default_config ~listen ~shards =
     connect_timeout_ms = 250.;
     retry_after_ms = 50;
     replication_queue = 256;
+    request_timeout_ms = 10_000.;
+    probe_timeout_ms = 1_000.;
+    drain_timeout_ms = 5_000.;
     log = false;
     stats_out = None;
     on_listen = ignore;
   }
 
-type shard_state = {
+type member = {
   shard : shard;
   health : Health.t;
   admission : Admission.t;
+  (* Draining members take no new forwards and no replication; flipped
+     under [m_lock], read without it (a stale read costs one forward to
+     a shard that still answers correctly). *)
+  mutable draining : bool;
 }
+
+(* One in-flight [check] per structural key: the first request becomes
+   the leader and does the shard round-trip; identical keys arriving
+   meanwhile park their connection here and are answered with the
+   leader's response. *)
+type flight = { mutable waiters : Unix.file_descr list }
 
 type t = {
   cfg : config;
-  replicas : int;
-  ring : Ring.t;
-  states : shard_state array;
-  by_id : (string, shard_state) Hashtbl.t;
+  replicas : int;  (* desired replica-set size; clamped per lookup *)
+  (* Live topology.  The ring is immutable; reconfiguration swaps the
+     reference and bumps the epoch under [m_lock].  [members] maps
+     shard id to its connection state and is mutated only under the
+     same lock. *)
+  m_lock : Mutex.t;
+  mutable ring : Ring.t;
+  mutable epoch : int;
+  members : (string, member) Hashtbl.t;
+  (* Single-flight table, under [f_lock]. *)
+  f_lock : Mutex.t;
+  flights : (string, flight) Hashtbl.t;
+  (* Recently routed check lines by key (bounded FIFO), the source for
+     join warm-up replication. *)
+  s_lock : Mutex.t;
+  seen : (string, string) Hashtbl.t;
+  seen_order : string Queue.t;
   (* Router-local counters.  Workers, the prober and the replicator all
      record here, so unlike the per-domain registries elsewhere in the
      tree this one is shared and must be locked. *)
@@ -82,6 +111,9 @@ let counter_value st name =
   Mutex.protect st.reg_lock (fun () ->
       Obs.Counter.get (Obs.Registry.counter st.reg name))
 
+let set_gauge st name v =
+  Mutex.protect st.reg_lock (fun () -> Obs.Gauge.set (Obs.Registry.gauge st.reg name) v)
+
 let logf st fmt =
   Printf.ksprintf
     (fun msg -> if st.cfg.log then Printf.eprintf "[router] %s\n%!" msg)
@@ -93,15 +125,55 @@ let reply fd line =
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
+(* {2 Topology access} *)
+
+let current_ring st = Mutex.protect st.m_lock (fun () -> st.ring)
+let current_epoch st = Mutex.protect st.m_lock (fun () -> st.epoch)
+let member_of st id = Mutex.protect st.m_lock (fun () -> Hashtbl.find_opt st.members id)
+
+let members_snapshot st =
+  Mutex.protect st.m_lock (fun () ->
+      Hashtbl.fold (fun _ m acc -> m :: acc) st.members []
+      |> List.sort (fun a b -> compare a.shard.id b.shard.id))
+
+(* The key's candidate members in preference order: walk the whole
+   ring order and keep the first [replicas] non-draining members.  A
+   draining shard therefore slides its traffic to the next shard
+   clockwise without any key changing its eventual owner. *)
+let candidates st key =
+  Mutex.protect st.m_lock (fun () ->
+      let order = Ring.lookup ~n:(Ring.num_shards st.ring) st.ring key in
+      let live =
+        List.filter_map
+          (fun id ->
+            match Hashtbl.find_opt st.members id with
+            | Some m when not m.draining -> Some m
+            | _ -> None)
+          order
+      in
+      let rec take n = function
+        | [] -> []
+        | m :: rest -> if n <= 0 then [] else m :: take (n - 1) rest
+      in
+      take st.replicas live)
+
 (* {2 Forwarding} *)
 
 type outcome =
   | Answer of string  (** shard answered; relay verbatim *)
   | Busy  (** shard is alive but shedding load; try a replica *)
   | Down of string  (** transport failure; shard presumed dead *)
+  | Stalled  (** connected but exceeded its response deadline *)
 
-let forward st ss line =
-  match Addr.connect ~timeout_ms:st.cfg.connect_timeout_ms ss.shard.addr with
+let forward ?deadline st m line =
+  let connect_ms =
+    match deadline with
+    | None -> st.cfg.connect_timeout_ms
+    | Some d ->
+      let left = (d -. Unix.gettimeofday ()) *. 1000. in
+      Float.min st.cfg.connect_timeout_ms (Float.max 1. left)
+  in
+  match Addr.connect ~timeout_ms:connect_ms m.shard.addr with
   | exception Unix.Unix_error (e, _, _) -> Down (Unix.error_message e)
   | exception Failure msg -> Down msg
   | fd ->
@@ -109,27 +181,28 @@ let forward st ss line =
       ~finally:(fun () -> close_quietly fd)
       (fun () ->
         match
-          Wire.write_line fd line;
-          Wire.read_line fd
+          Wire.write_line ?deadline fd line;
+          Wire.read_line ?deadline fd
         with
+        | exception Unix.Unix_error (Unix.ETIMEDOUT, "write", _) -> Stalled
         | exception Unix.Unix_error (e, _, _) -> Down (Unix.error_message e)
-        | Error msg -> Down msg
+        | Error msg -> if msg = Wire.deadline_error then Stalled else Down msg
         | Ok resp -> (
           match P.field "code" resp with
           | Some ("queue_full" | "overloaded") -> Busy
           | _ -> Answer resp))
 
-let note_alive st ss =
-  if Health.record_success ss.health then begin
+let note_alive st m =
+  if Health.record_success m.health then begin
     tick st "fleet.shard_up";
-    logf st "shard %s is back up" ss.shard.id
+    logf st "shard %s is back up" m.shard.id
   end
 
-let note_dead st ss msg =
+let note_dead st m msg =
   tick st "fleet.forward_failures";
-  if Health.record_failure ss.health then begin
+  if Health.record_failure m.health then begin
     tick st "fleet.shard_down";
-    logf st "shard %s marked down: %s" ss.shard.id msg
+    logf st "shard %s marked down: %s" m.shard.id msg
   end
 
 (* {2 Routing} *)
@@ -145,30 +218,40 @@ let overloaded_response st =
 let unavailable_response =
   P.error_response ~code:"unavailable" "no replica reachable"
 
+let deadline_response =
+  P.error_response ~code:"deadline_exceeded" "request deadline exceeded"
+
 (* Try one shard under its admission cap.  [Some response] relays;
    [None] falls through to the next replica. *)
-let try_shard st ~fallback ss line saturated =
-  if not (Admission.try_acquire ss.admission) then begin
+let try_shard st ~fallback ?deadline m line saturated =
+  if not (Admission.try_acquire m.admission) then begin
     saturated := true;
     None
   end
   else
     Fun.protect
-      ~finally:(fun () -> Admission.release ss.admission)
+      ~finally:(fun () -> Admission.release m.admission)
       (fun () ->
-        match forward st ss line with
+        match forward ?deadline st m line with
         | Answer resp ->
-          note_alive st ss;
+          note_alive st m;
           tick st "fleet.forwarded";
           if fallback then tick st "fleet.failovers";
-          Some (ss.shard.id, resp)
+          Some (m.shard.id, resp)
         | Busy ->
           (* A load-shedding shard is a healthy shard. *)
-          note_alive st ss;
+          note_alive st m;
           saturated := true;
           None
+        | Stalled ->
+          (* Connected but never answered within budget: abort the
+             connection (done by [forward]'s close) and treat the
+             shard as suspect so the prober re-vets it. *)
+          tick st "fleet.stalled_forwards";
+          note_dead st m Wire.deadline_error;
+          None
         | Down msg ->
-          note_dead st ss msg;
+          note_dead st m msg;
           None)
 
 let schedule_replication st line others =
@@ -184,83 +267,259 @@ let schedule_replication st line others =
   if accepted then Condition.signal st.r_nonempty
   else tick st "fleet.replication_dropped"
 
-let route_check st fd line key =
+(* Bounded memory of recently routed check lines, keyed by structural
+   key: this is what a joining shard is warmed up from. *)
+let seen_capacity = 1024
+
+let remember_key st key line =
+  Mutex.protect st.s_lock (fun () ->
+      if not (Hashtbl.mem st.seen key) then begin
+        Hashtbl.replace st.seen key line;
+        Queue.push key st.seen_order;
+        while Queue.length st.seen_order > seen_capacity do
+          Hashtbl.remove st.seen (Queue.pop st.seen_order)
+        done
+      end)
+
+(* Route one [check]; returns the response line (the caller owns the
+   reply and the single-flight bookkeeping).  [overall] is the
+   absolute request deadline; each hop gets an equal share of what is
+   left, floored at 50ms, so one stalled replica cannot eat the whole
+   budget. *)
+let route_check st line key ~overall =
   tick st "fleet.checks";
-  let owner_ids = Ring.lookup ~n:st.replicas st.ring key in
-  let owners = List.map (Hashtbl.find st.by_id) owner_ids in
+  remember_key st key line;
+  let cands = candidates st key in
   let saturated = ref false in
+  let expired = ref false in
   (* Preference pass over shards believed up; shards marked down get a
      second chance only after every live replica has been tried — the
      prober may simply not have noticed a recovery yet. *)
-  let live, down = List.partition (fun ss -> Health.up ss.health) owners in
+  let live, down = List.partition (fun m -> Health.up m.health) cands in
   let rec first_answer ~fallback = function
     | [] -> None
-    | ss :: rest -> (
-      match try_shard st ~fallback ss line saturated with
-      | Some _ as r -> r
-      | None -> first_answer ~fallback:true rest)
+    | m :: rest ->
+      let now = Unix.gettimeofday () in
+      if now >= overall then begin
+        expired := true;
+        None
+      end
+      else begin
+        let hops_left = 1 + List.length rest in
+        let hop = Float.max 0.05 ((overall -. now) /. float_of_int hops_left) in
+        let hop_deadline = Float.min overall (now +. hop) in
+        match try_shard st ~fallback ~deadline:hop_deadline m line saturated with
+        | Some _ as r -> r
+        | None -> first_answer ~fallback:true rest
+      end
   in
   let ordered = live @ down in
   let starts_at_primary =
-    match (ordered, owners) with
+    match (ordered, cands) with
     | a :: _, b :: _ -> a.shard.id = b.shard.id
     | _ -> false
   in
-  let answer = first_answer ~fallback:(not starts_at_primary) ordered in
-  match answer with
+  match first_answer ~fallback:(not starts_at_primary) ordered with
   | Some (answered_by, resp) ->
-    reply fd resp;
     (* A fresh verdict on a replicated key gets replayed to the rest of
        the replica set in the background, keeping standby stores warm. *)
-    if List.length owner_ids > 1 then begin
-      match (P.field "cached" resp, P.field "status" resp) with
-      | Some "false", Some ("equivalent" | "inequivalent") ->
-        schedule_replication st line
-          (List.filter (fun id -> id <> answered_by) owner_ids)
-      | _ -> ()
-    end
+    let cand_ids = List.map (fun m -> m.shard.id) cands in
+    (if List.length cand_ids > 1 then
+       match (P.field "cached" resp, P.field "status" resp) with
+       | Some "false", Some ("equivalent" | "inequivalent") ->
+         schedule_replication st line (List.filter (fun id -> id <> answered_by) cand_ids)
+       | _ -> ());
+    resp
   | None ->
-    if !saturated then begin
+    if !expired || Unix.gettimeofday () >= overall then begin
+      tick st "fleet.deadline_exceeded";
+      deadline_response
+    end
+    else if !saturated then begin
       tick st "fleet.overloaded";
-      reply fd (overloaded_response st)
+      overloaded_response st
     end
     else begin
       tick st "fleet.unavailable";
-      reply fd unavailable_response
+      unavailable_response
     end
+
+(* {2 Ring administration} *)
+
+let reconfig_gauges st ~before ~after =
+  let moved = Ring.moved_fraction ~before ~after () in
+  set_gauge st "fleet.ring_epoch" (float_of_int (current_epoch st));
+  set_gauge st "fleet.moved_fraction" moved;
+  moved
+
+(* Warm-up: replay every remembered check line whose (new-ring) replica
+   set includes the joining shard, to that shard only, through the
+   ordinary background replicator.  Returns how many were scheduled. *)
+let schedule_warmup st id =
+  let ring = current_ring st in
+  let entries =
+    Mutex.protect st.s_lock (fun () ->
+        Hashtbl.fold (fun key line acc -> (key, line) :: acc) st.seen [])
+  in
+  let want = min st.replicas (Ring.num_shards ring) in
+  let n =
+    List.fold_left
+      (fun n (key, line) ->
+        if List.mem id (Ring.lookup ~n:want ring key) then begin
+          schedule_replication st line [ id ];
+          n + 1
+        end
+        else n)
+      0 entries
+  in
+  if n > 0 then tick ~n st "fleet.warmups";
+  n
+
+let handle_join st ~id ~addr_str =
+  match Addr.parse addr_str with
+  | Error msg -> P.error_response msg
+  | Ok addr -> (
+    let result =
+      Mutex.protect st.m_lock (fun () ->
+          if Hashtbl.mem st.members id then
+            Error (Printf.sprintf "shard %S already in the ring" id)
+          else
+            match Ring.add st.ring id with
+            | exception Invalid_argument msg -> Error msg
+            | ring ->
+              let before = st.ring in
+              st.ring <- ring;
+              st.epoch <- st.epoch + 1;
+              Hashtbl.replace st.members id
+                {
+                  shard = { id; addr };
+                  health = Health.create ();
+                  admission = Admission.create ~capacity:(max 1 st.cfg.max_inflight);
+                  draining = false;
+                };
+              Ok (before, ring))
+    in
+    match result with
+    | Error msg -> P.error_response msg
+    | Ok (before, after) ->
+      tick st "fleet.joins";
+      let moved = reconfig_gauges st ~before ~after in
+      let warmups = schedule_warmup st id in
+      logf st "shard %s joined (epoch %d, moved %.3f, %d warm-ups)" id (current_epoch st)
+        moved warmups;
+      P.to_json
+        [
+          ("ok", P.Bool true);
+          ("joined", P.String id);
+          ("epoch", P.Int (current_epoch st));
+          ("moved_fraction", P.Float moved);
+          ("warmups", P.Int warmups);
+        ])
+
+let handle_drain st ~id =
+  match member_of st id with
+  | None -> P.error_response (Printf.sprintf "unknown shard %S" id)
+  | Some m ->
+    Mutex.protect st.m_lock (fun () -> m.draining <- true);
+    tick st "fleet.drains";
+    logf st "shard %s draining (%d in flight)" id (Admission.in_flight m.admission);
+    P.to_json
+      [
+        ("ok", P.Bool true);
+        ("draining", P.String id);
+        ("epoch", P.Int (current_epoch st));
+        ("in_flight", P.Int (Admission.in_flight m.admission));
+      ]
+
+let handle_leave st ~id =
+  match member_of st id with
+  | None -> P.error_response (Printf.sprintf "unknown shard %S" id)
+  | Some m ->
+    (* Drain first: stop placing new work, then wait (bounded) for the
+       shard's in-flight forwards to finish, so removal never cuts a
+       request mid-exchange. *)
+    Mutex.protect st.m_lock (fun () -> m.draining <- true);
+    let t0 = Unix.gettimeofday () in
+    let wait_until = t0 +. (st.cfg.drain_timeout_ms /. 1000.) in
+    let rec await () =
+      if Admission.in_flight m.admission = 0 then true
+      else if Unix.gettimeofday () >= wait_until then false
+      else begin
+        Unix.sleepf 0.01;
+        await ()
+      end
+    in
+    let drained = await () in
+    let drained_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+    let result =
+      Mutex.protect st.m_lock (fun () ->
+          match Ring.remove st.ring id with
+          | exception Invalid_argument msg -> Error msg
+          | ring ->
+            let before = st.ring in
+            st.ring <- ring;
+            st.epoch <- st.epoch + 1;
+            Hashtbl.remove st.members id;
+            Ok (before, ring))
+    in
+    (match result with
+    | Error msg ->
+      (* Leave failed (e.g. last shard): the member stays, so undo the
+         drain flag rather than stranding it unroutable. *)
+      Mutex.protect st.m_lock (fun () -> m.draining <- false);
+      P.error_response msg
+    | Ok (before, after) ->
+      tick st "fleet.leaves";
+      let moved = reconfig_gauges st ~before ~after in
+      if not drained then
+        logf st "shard %s removed with work still in flight after %.0fms" id drained_ms;
+      logf st "shard %s left (epoch %d, moved %.3f, drained %.0fms)" id (current_epoch st)
+        moved drained_ms;
+      P.to_json
+        [
+          ("ok", P.Bool true);
+          ("removed", P.String id);
+          ("epoch", P.Int (current_epoch st));
+          ("moved_fraction", P.Float moved);
+          ("drained", P.Bool drained);
+          ("drained_ms", P.Float drained_ms);
+        ])
 
 (* {2 Aggregation} *)
 
 let fleet_snapshot st =
   let reg = Obs.Registry.create () in
-  Array.iter
-    (fun ss ->
-      match forward st ss "metrics" with
+  let poll_deadline () = Unix.gettimeofday () +. (st.cfg.probe_timeout_ms /. 1000.) in
+  List.iter
+    (fun m ->
+      match forward ~deadline:(poll_deadline ()) st m "metrics" with
       | Answer line -> (
         match Snapshot.merge_into reg line with
         | Ok () -> tick st "fleet.polls"
         | Error msg ->
           tick st "fleet.poll_errors";
-          logf st "shard %s: bad metrics snapshot: %s" ss.shard.id msg)
-      | Busy | Down _ -> tick st "fleet.poll_errors")
-    st.states;
+          logf st "shard %s: bad metrics snapshot: %s" m.shard.id msg)
+      | Busy | Down _ | Stalled -> tick st "fleet.poll_errors")
+    (members_snapshot st);
   (* Merge our own counters last so the poll bookkeeping above is part
      of the snapshot it produced. *)
   Mutex.protect st.reg_lock (fun () -> Obs.Registry.merge_into ~into:reg st.reg);
   reg
 
 let stats_response st =
-  let up =
-    Array.fold_left
-      (fun n ss -> if Health.up ss.health then n + 1 else n)
-      0 st.states
+  let members = members_snapshot st in
+  let up = List.fold_left (fun n m -> if Health.up m.health then n + 1 else n) 0 members in
+  let draining =
+    List.fold_left (fun n (m : member) -> if m.draining then n + 1 else n) 0 members
   in
   P.to_json
     [
       ("ok", P.Bool true);
       ("router", P.Bool true);
-      ("shards", P.Int (Array.length st.states));
+      ("shards", P.Int (List.length members));
       ("shards_up", P.Int up);
+      ("shards_draining", P.Int draining);
+      ("epoch", P.Int (current_epoch st));
       ("replicas", P.Int st.replicas);
       ("requests", P.Int (counter_value st "fleet.requests"));
       ("forwarded", P.Int (counter_value st "fleet.forwarded"));
@@ -268,30 +527,90 @@ let stats_response st =
       ("overloaded", P.Int (counter_value st "fleet.overloaded"));
       ("unavailable", P.Int (counter_value st "fleet.unavailable"));
       ("replicated", P.Int (counter_value st "fleet.replicated"));
+      ("coalesced", P.Int (counter_value st "fleet.coalesced"));
+      ("deadline_exceeded", P.Int (counter_value st "fleet.deadline_exceeded"));
     ]
 
 (* {2 Request handling} *)
 
+(* Answer a [check] with single-flight coalescing: the first worker in
+   on a key leads and does the shard exchange; identical keys arriving
+   while it is out park their fd on the flight and are answered with
+   the leader's response.  The leader owns every parked fd from the
+   moment it collects the flight.  Closes [fd] in all paths. *)
+let answer_check st fd line key ~overall =
+  let role =
+    Mutex.protect st.f_lock (fun () ->
+        match Hashtbl.find_opt st.flights key with
+        | Some fl ->
+          fl.waiters <- fd :: fl.waiters;
+          `Follower
+        | None ->
+          Hashtbl.add st.flights key { waiters = [] };
+          `Leader)
+  in
+  match role with
+  | `Follower ->
+    (* Parked: the leader replies and closes.  Nothing more to do on
+       this worker — which is the point of coalescing. *)
+    tick st "fleet.coalesced"
+  | `Leader ->
+    let resp =
+      try route_check st line key ~overall
+      with e -> P.error_response (Printexc.to_string e)
+    in
+    let waiters =
+      Mutex.protect st.f_lock (fun () ->
+          let fl = Hashtbl.find st.flights key in
+          Hashtbl.remove st.flights key;
+          fl.waiters)
+    in
+    reply fd resp;
+    close_quietly fd;
+    List.iter
+      (fun wfd ->
+        reply wfd resp;
+        close_quietly wfd)
+      waiters
+
+(* Parse and answer one connection.  Owns [fd]: every path replies (or
+   parks the fd on a flight, transferring ownership to the leader) and
+   closes it. *)
 let handle st fd =
-  match Wire.read_line fd with
-  | Error msg -> reply fd (P.error_response msg)
+  let finish line =
+    reply fd line;
+    close_quietly fd
+  in
+  let read_deadline = Unix.gettimeofday () +. (st.cfg.request_timeout_ms /. 1000.) in
+  match Wire.read_line ~deadline:read_deadline fd with
+  | Error msg -> finish (P.error_response msg)
   | Ok line -> (
     tick st "fleet.requests";
     match P.parse_request line with
-    | Error msg -> reply fd (P.error_response msg)
-    | Ok P.Ping -> reply fd (P.to_json [ ("ok", P.Bool true); ("router", P.Bool true) ])
-    | Ok P.Stats -> reply fd (stats_response st)
+    | Error msg -> finish (P.error_response msg)
+    | Ok P.Ping -> finish (P.to_json [ ("ok", P.Bool true); ("router", P.Bool true) ])
+    | Ok P.Stats -> finish (stats_response st)
     | Ok P.Metrics ->
-      reply fd (String.trim (Obs.Export.stats_json (fleet_snapshot st)))
+      finish (String.trim (Obs.Export.stats_json (fleet_snapshot st)))
     | Ok P.Shutdown ->
       Atomic.set st.stop true;
-      reply fd (P.to_json [ ("ok", P.Bool true); ("draining", P.Bool true) ])
-    | Ok (P.Check { golden; revised; timeout_ms = _ }) -> (
+      finish (P.to_json [ ("ok", P.Bool true); ("draining", P.Bool true) ])
+    | Ok (P.Join { id; addr }) -> finish (handle_join st ~id ~addr_str:addr)
+    | Ok (P.Drain { id }) -> finish (handle_drain st ~id)
+    | Ok (P.Leave { id }) -> finish (handle_leave st ~id)
+    | Ok (P.Check { golden; revised; timeout_ms }) -> (
       (* Key exactly as a shard would, so ring placement and shard
          store identity agree by construction. *)
       match (Service.Server.load_netlist golden, Service.Server.load_netlist revised) with
-      | Error msg, _ | _, Error msg -> reply fd (P.error_response msg)
-      | Ok a, Ok b -> route_check st fd line (Key.to_hex (Key.of_pair a b))))
+      | Error msg, _ | _, Error msg -> finish (P.error_response msg)
+      | Ok a, Ok b ->
+        let budget_ms =
+          match timeout_ms with
+          | Some ms when ms > 0 -> float_of_int ms
+          | Some _ | None -> st.cfg.request_timeout_ms
+        in
+        let overall = Unix.gettimeofday () +. (budget_ms /. 1000.) in
+        answer_check st fd line (Key.to_hex (Key.of_pair a b)) ~overall))
 
 let rec worker_loop st =
   let job =
@@ -309,9 +628,12 @@ let rec worker_loop st =
   match job with
   | None -> ()
   | Some fd ->
+    (* [handle] owns the fd; the backstop below only fires when it
+       raised, which it can only do before any close. *)
     (try handle st fd
-     with e -> reply fd (P.error_response (Printexc.to_string e)));
-    close_quietly fd;
+     with e ->
+       reply fd (P.error_response (Printexc.to_string e));
+       close_quietly fd);
     worker_loop st
 
 (* {2 Background domains} *)
@@ -332,37 +654,49 @@ let rec replicator st =
   match job with
   | None -> ()
   | Some (line, ids) ->
+    let deadline () = Unix.gettimeofday () +. (st.cfg.request_timeout_ms /. 1000.) in
     List.iter
       (fun id ->
-        match Hashtbl.find_opt st.by_id id with
+        match member_of st id with
         | None -> ()
-        | Some ss -> (
-          match forward st ss line with
+        | Some m when m.draining -> ()
+        | Some m -> (
+          match forward ~deadline:(deadline ()) st m line with
           | Answer _ ->
-            note_alive st ss;
+            note_alive st m;
             tick st "fleet.replicated"
           | Busy ->
-            note_alive st ss;
+            note_alive st m;
+            tick st "fleet.replication_failures"
+          | Stalled ->
+            note_dead st m Wire.deadline_error;
             tick st "fleet.replication_failures"
           | Down msg ->
-            note_dead st ss msg;
+            note_dead st m msg;
             tick st "fleet.replication_failures"))
       ids;
     replicator st
 
 let rec prober st =
   if not (Atomic.get st.stop) then begin
-    Array.iter
-      (fun ss ->
+    List.iter
+      (fun m ->
         if not (Atomic.get st.stop) then begin
           tick st "fleet.probes";
-          match forward st ss "ping" with
-          | Answer _ | Busy -> note_alive st ss
+          (* A probe that connects but never answers is as dead as a
+             refused connect: the deadline turns it into [Stalled]
+             instead of blocking the prober forever. *)
+          let deadline = Unix.gettimeofday () +. (st.cfg.probe_timeout_ms /. 1000.) in
+          match forward ~deadline st m "ping" with
+          | Answer _ | Busy -> note_alive st m
+          | Stalled ->
+            tick st "fleet.probe_failures";
+            note_dead st m "probe stalled"
           | Down msg ->
             tick st "fleet.probe_failures";
-            note_dead st ss msg
+            note_dead st m msg
         end)
-      st.states;
+      (members_snapshot st);
     (* Sleep in short slices so shutdown is not gated on the probe
        period. *)
     let rec nap remaining =
@@ -400,26 +734,30 @@ let run cfg =
   if cfg.shards = [] then invalid_arg "Router.run: no shards";
   let ids = List.map (fun s -> s.id) cfg.shards in
   let ring = Ring.create ~vnodes:(max 1 cfg.vnodes) ids in
-  let states =
-    Array.of_list
-      (List.map
-         (fun shard ->
-           {
-             shard;
-             health = Health.create ();
-             admission = Admission.create ~capacity:(max 1 cfg.max_inflight);
-           })
-         cfg.shards)
-  in
-  let by_id = Hashtbl.create 16 in
-  Array.iter (fun ss -> Hashtbl.replace by_id ss.shard.id ss) states;
+  let members = Hashtbl.create 16 in
+  List.iter
+    (fun shard ->
+      Hashtbl.replace members shard.id
+        {
+          shard;
+          health = Health.create ();
+          admission = Admission.create ~capacity:(max 1 cfg.max_inflight);
+          draining = false;
+        })
+    cfg.shards;
   let st =
     {
       cfg;
-      replicas = min (max 1 cfg.replicas) (List.length cfg.shards);
+      replicas = max 1 cfg.replicas;
+      m_lock = Mutex.create ();
       ring;
-      states;
-      by_id;
+      epoch = 0;
+      members;
+      f_lock = Mutex.create ();
+      flights = Hashtbl.create 64;
+      s_lock = Mutex.create ();
+      seen = Hashtbl.create 256;
+      seen_order = Queue.create ();
       reg = Obs.Registry.create ();
       reg_lock = Mutex.create ();
       q_lock = Mutex.create ();
@@ -433,10 +771,11 @@ let run cfg =
       stop = Atomic.make false;
     }
   in
+  set_gauge st "fleet.ring_epoch" 0.;
   let lfd, actual = Addr.bind_listen cfg.listen in
   cfg.on_listen actual;
   logf st "routing %d shards (replicas %d) on %s"
-    (Array.length states) st.replicas (Addr.to_string actual);
+    (Hashtbl.length members) st.replicas (Addr.to_string actual);
   let on_signal _ = Atomic.set st.stop true in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle on_signal) in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle on_signal) in
@@ -486,10 +825,12 @@ let run cfg =
     output_string oc (Obs.Export.stats_json final);
     close_out oc);
   logf st
-    "drained: %d requests, %d forwarded, %d failovers, %d overloaded, %d unavailable"
+    "drained: %d requests, %d forwarded, %d failovers, %d overloaded, %d unavailable, %d coalesced, %d deadline-exceeded"
     (counter_value st "fleet.requests")
     (counter_value st "fleet.forwarded")
     (counter_value st "fleet.failovers")
     (counter_value st "fleet.overloaded")
-    (counter_value st "fleet.unavailable");
+    (counter_value st "fleet.unavailable")
+    (counter_value st "fleet.coalesced")
+    (counter_value st "fleet.deadline_exceeded");
   final

@@ -7,26 +7,62 @@
     A [check] request is parsed and keyed exactly as a shard would key
     it (normalize, {!Service.Key.of_pair}), so the router and every
     shard agree on identity by construction.  The key's replica set —
-    the first [replicas] distinct shards clockwise on the ring — is
-    tried in preference order; the first shard that completes the
-    exchange answers the client verbatim.  The router never interprets
-    verdicts: certificates are produced, stored and validated by the
-    shards, so the fleet path adds no trust surface — a certificate
-    fetched through the router is byte-identical to one fetched from
-    the shard directly.
+    the first [replicas] distinct non-draining shards clockwise on the
+    ring — is tried in preference order; the first shard that completes
+    the exchange answers the client verbatim.  The router never
+    interprets verdicts: certificates are produced, stored and
+    validated by the shards, so the fleet path adds no trust surface —
+    a certificate fetched through the router is byte-identical to one
+    fetched from the shard directly.
+
+    {2 Coalescing}
+
+    Identical structural keys in flight share one shard round-trip: the
+    first request leads, later ones park their connection on a
+    single-flight table and are answered with the leader's response
+    (counted in [fleet.coalesced]).  A failing leader answers its
+    followers with the same typed error — parked connections are never
+    stranded.
+
+    {2 Deadlines}
+
+    A [check]'s [TIMEOUT_MS] (or [request_timeout_ms] when absent) is
+    the end-to-end budget.  Each replica hop gets an equal share of
+    what remains (floored at 50ms); a shard that connects but does not
+    answer within its hop budget is aborted ([fleet.stalled_forwards]),
+    marked suspect and failed over.  A request whose whole budget is
+    gone is answered with a typed [deadline_exceeded] error — no router
+    worker ever blocks past the request deadline.  Probes carry their
+    own [probe_timeout_ms], so a shard that accepts and then stalls is
+    marked unhealthy rather than wedging the prober.
+
+    {2 Live reconfiguration}
+
+    [join ID ADDR], [drain ID] and [leave ID] requests change the ring
+    without a restart.  Drain flips the shard to replica-only: no new
+    forwards or replication land on it, but it keeps its ring arc (so
+    un-drain — rejoin — is cheap).  Leave drains, waits (bounded by
+    [drain_timeout_ms]) for the shard's in-flight forwards to finish,
+    then removes it from the ring.  Join adds the shard and replays
+    recently routed check lines whose new replica set includes it
+    (bounded memory, via the background replicator) so its store warms
+    up without traffic.  Every ring change bumps the {e epoch}
+    (gauge [fleet.ring_epoch]) and reports the sampled
+    {!Ring.moved_fraction} (gauge [fleet.moved_fraction]); [stats]
+    exposes both plus per-state shard counts.
 
     {2 Failover}
 
-    Forward failures (refused/timed-out connects, mid-exchange EOFs)
-    mark the shard down via {!Health} and fall through to the next
-    replica; shards marked down are skipped up front and re-tried only
-    as a last resort (they may have recovered since the last probe).
-    A background prober pings every shard each [probe_interval_ms], so
-    a restarted shard rejoins the rotation without traffic having to
-    discover it.  With [replicas >= 2], a solved-on-primary verdict is
-    also replayed to the remaining replica set in the background
-    (fire-and-forget), so the replicas' stores stay warm and a shard
-    loss costs availability of nothing.
+    Forward failures (refused/timed-out connects, mid-exchange EOFs,
+    stalled exchanges) mark the shard down via {!Health} and fall
+    through to the next replica; shards marked down are skipped up
+    front and re-tried only as a last resort (they may have recovered
+    since the last probe).  A background prober pings every shard each
+    [probe_interval_ms], so a restarted shard rejoins the rotation
+    without traffic having to discover it.  With [replicas >= 2], a
+    solved-on-primary verdict is also replayed to the remaining
+    replica set in the background (fire-and-forget), so the replicas'
+    stores stay warm and a shard loss costs availability of nothing.
 
     {2 Admission control}
 
@@ -42,11 +78,12 @@
 
     The router's own counters live in an {!Obs} registry under
     [fleet.*].  A [metrics] request polls every shard's [metrics]
-    endpoint, folds the snapshots together with {!Snapshot} (counters
-    add, gauges max — the same associative merge used for worker
-    domains) and answers with one fleet-wide flat-JSON snapshot; the
-    same snapshot is written to [stats_out] at shutdown.  [stats]
-    answers a cheap router-local summary without touching shards. *)
+    endpoint (bounded by [probe_timeout_ms] each), folds the snapshots
+    together with {!Snapshot} (counters add, gauges max — the same
+    associative merge used for worker domains) and answers with one
+    fleet-wide flat-JSON snapshot; the same snapshot is written to
+    [stats_out] at shutdown.  [stats] answers a cheap router-local
+    summary without touching shards. *)
 
 type shard = {
   id : string;  (** ring identity; stable across restarts *)
@@ -55,7 +92,7 @@ type shard = {
 
 type config = {
   listen : Service.Addr.t;
-  shards : shard list;
+  shards : shard list;  (** initial membership; see [join]/[leave] *)
   replicas : int;  (** replica-set size per key (clamped to 1..N) *)
   vnodes : int;  (** ring points per shard *)
   workers : int;  (** forwarding worker domains (min 1) *)
@@ -65,6 +102,14 @@ type config = {
   connect_timeout_ms : float;  (** per-forward connect bound *)
   retry_after_ms : int;  (** hint carried by [overloaded] rejections *)
   replication_queue : int;  (** pending warm-replication bound *)
+  request_timeout_ms : float;
+      (** end-to-end budget for requests that carry no [TIMEOUT_MS] of
+          their own; also bounds reading a client's request line *)
+  probe_timeout_ms : float;
+      (** response deadline per probe and per metrics poll *)
+  drain_timeout_ms : float;
+      (** how long [leave] waits for in-flight work before removing the
+          shard anyway (reported as [drained=false]) *)
   log : bool;
   stats_out : string option;
       (** write the final fleet snapshot (router counters + last shard
@@ -75,7 +120,8 @@ type config = {
 }
 
 (** [replicas = 1], 64 vnodes, 4 workers, in-flight cap 8, queue 128,
-    500ms probes, 250ms connect timeout, retry-after 50ms. *)
+    500ms probes, 250ms connect timeout, retry-after 50ms, 10s default
+    request budget, 1s probe deadline, 5s drain bound. *)
 val default_config : listen:Service.Addr.t -> shards:shard list -> config
 
 (** Run until SIGINT/SIGTERM or a [shutdown] request; drains accepted

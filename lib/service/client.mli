@@ -32,24 +32,38 @@ type config = {
           the kernel's own connect timeout.  A TCP connect to a
           black-holed host can otherwise stall for minutes, so anything
           probing remote shards should set this. *)
+  deadline_ms : float option;
+      (** end-to-end budget for one {!request_to} call, covering every
+          attempt {e and} every backoff sleep.  Once it would be
+          exceeded the client stops — it never sleeps past the
+          deadline — and returns the last transient error wrapped in
+          [Wire.deadline_error].  [None] (default) keeps the
+          pre-deadline behaviour: the retry budget alone bounds the
+          call. *)
 }
 
 (** 4 retries, 25ms base delay — worst-case wait ~1.5s total; no
-    connect timeout. *)
+    connect timeout, no deadline. *)
 val default_config : config
 
 (** One attempt against one address: connect (with the configured
     timeout), send, read one response line.  [Error (transient, msg)]
-    tags whether the failure is worth retrying.  The building block of
+    tags whether the failure is worth retrying.  [deadline] (absolute
+    seconds) bounds connect, write and read; expiry surfaces as a
+    transient [Wire.deadline_error].  The building block of
     {!request_to}; exposed for callers (the fleet router) that own
     their retry policy. *)
-val attempt : ?config:config -> Addr.t -> string -> (string, bool * string) result
+val attempt :
+  ?config:config -> ?deadline:float -> Addr.t -> string -> (string, bool * string) result
 
 (** Send one request line to the first address that answers, retrying
     transient failures per the policy above and rotating through the
     addresses round-robin (attempt [k] goes to address [k mod N]).
     [Ok response] on the first success; [Error msg] carries the last
-    failure once the attempts are exhausted.
+    failure once the attempts are exhausted.  With [deadline_ms] set,
+    cumulative attempt time plus backoff never exceeds the budget: the
+    call returns [Error "deadline exceeded (<last error>)"] rather
+    than sleeping past it.
     @raise Invalid_argument on an empty address list. *)
 val request_to : ?config:config -> Addr.t list -> string -> (string, string) result
 

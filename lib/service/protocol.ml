@@ -110,6 +110,12 @@ type request =
   | Metrics
   | Ping
   | Shutdown
+  | Join of {
+      id : string;
+      addr : string;
+    }
+  | Leave of { id : string }
+  | Drain of { id : string }
 
 let parse_request line =
   let words =
@@ -120,6 +126,12 @@ let parse_request line =
   | [ "metrics" ] -> Ok Metrics
   | [ "ping" ] -> Ok Ping
   | [ "shutdown" ] -> Ok Shutdown
+  | [ "join"; id; addr ] -> Ok (Join { id; addr })
+  | "join" :: _ -> Error "join: expected shard id and address (join ID ADDR)"
+  | [ "leave"; id ] -> Ok (Leave { id })
+  | "leave" :: _ -> Error "leave: expected one shard id (leave ID)"
+  | [ "drain"; id ] -> Ok (Drain { id })
+  | "drain" :: _ -> Error "drain: expected one shard id (drain ID)"
   | "check" :: golden :: revised :: rest -> (
     match rest with
     | [] -> Ok (Check { golden; revised; timeout_ms = None })
@@ -129,7 +141,10 @@ let parse_request line =
       | Some _ | None -> Error (Printf.sprintf "check: bad timeout %S" ms))
     | _ -> Error "check: too many arguments (check GOLDEN REVISED [TIMEOUT_MS])")
   | "check" :: _ -> Error "check: expected two netlist paths"
-  | cmd :: _ -> Error (Printf.sprintf "unknown request %S (check|stats|metrics|ping|shutdown)" cmd)
+  | cmd :: _ ->
+    Error
+      (Printf.sprintf "unknown request %S (check|stats|metrics|ping|shutdown|join|leave|drain)"
+         cmd)
   | [] -> Error "empty request"
 
 let print_request = function
@@ -137,6 +152,9 @@ let print_request = function
   | Metrics -> "metrics"
   | Ping -> "ping"
   | Shutdown -> "shutdown"
+  | Join { id; addr } -> Printf.sprintf "join %s %s" id addr
+  | Leave { id } -> Printf.sprintf "leave %s" id
+  | Drain { id } -> Printf.sprintf "drain %s" id
   | Check { golden; revised; timeout_ms } -> (
     match timeout_ms with
     | None -> Printf.sprintf "check %s %s" golden revised

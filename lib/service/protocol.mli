@@ -14,7 +14,14 @@
                                          fleet router)
     ping                                 liveness probe
     shutdown                             drain the queue and exit
+    join ID ADDR                         admin: add shard to the ring
+    leave ID                             admin: drain + remove shard
+    drain ID                             admin: stop routing to shard
     v}
+
+    The three admin requests reconfigure a {e router}'s ring live;
+    plain shard daemons answer them with a typed [router_only]
+    error.
 
     Netlist paths are read by the {e server} process, so they must be
     meaningful in its filesystem namespace (the daemon is a local
@@ -54,6 +61,12 @@ type request =
   | Metrics
   | Ping
   | Shutdown
+  | Join of {
+      id : string;
+      addr : string;
+    }
+  | Leave of { id : string }
+  | Drain of { id : string }
 
 val parse_request : string -> (request, string) result
 val print_request : request -> string

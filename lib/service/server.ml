@@ -54,19 +54,50 @@ type state = {
   nonempty : Condition.t;
   mutable draining : bool;
   stop : bool Atomic.t;
+  (* [peer.partition] black-holes the daemon: until this instant every
+     accepted connection is parked unanswered (and unread).  Only the
+     accept-loop domain touches these, so no lock. *)
+  mutable partition_until : float;
+  mutable parked : (float * Unix.file_descr) list;
 }
 
 (* --- framing (EINTR/partial-IO handling lives in {!Wire}) --- *)
 
 let max_request_bytes = 65536
 
+(* A client that connects and then never sends a full line must not
+   wedge the accept loop forever. *)
+let request_read_timeout = 10.0
+
 let read_line_fd fd = Wire.read_line ~max_bytes:max_request_bytes fd
 
+let read_request fd =
+  Wire.read_line ~max_bytes:max_request_bytes
+    ~deadline:(Unix.gettimeofday () +. request_read_timeout)
+    fd
+
 (* Best-effort response write: a vanished client (EPIPE/ECONNRESET)
-   is not the server's problem. *)
+   is not the server's problem.  The [peer.drop]/[peer.reset] fault
+   points model the network failing mid-response: drop truncates the
+   reply and shuts the stream down, reset arms SO_LINGER(0) and skips
+   the write so the caller's close turns into an RST.  Neither closes
+   the fd — that stays with the caller, as on the healthy path. *)
 let send fd line =
-  try Wire.write_line fd line
-  with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  try
+    if Fault.fire "peer.drop" then begin
+      let framed = line ^ "\n" in
+      Wire.write_all fd (String.sub framed 0 (String.length framed / 2));
+      Unix.shutdown fd Unix.SHUTDOWN_ALL
+    end
+    else if Fault.fire "peer.reset" then Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0)
+    else Wire.write_line fd line
+  with
+  | Unix.Unix_error
+      ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ENOTCONN | Unix.EINVAL | Unix.ENOTSOCK
+        | Unix.EOPNOTSUPP ),
+        _,
+        _ ) ->
+    ()
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
 
@@ -254,6 +285,17 @@ let metrics_response st =
     ];
   String.trim (Obs.Export.stats_json reg)
 
+(* How long one [peer.partition] firing keeps the daemon black-holed. *)
+let partition_window = 0.5
+
+(* Parked connections whose window passed are finally closed (the peer
+   sees an EOF with no response — exactly a healed partition). *)
+let sweep_parked st =
+  let now = Unix.gettimeofday () in
+  let live, expired = List.partition (fun (until, _) -> until > now) st.parked in
+  st.parked <- live;
+  List.iter (fun (_, fd) -> close_quietly fd) expired
+
 (* Parse and dispatch one connection's request.  Everything answerable
    without solving is answered inline; [check] jobs go to the queue,
    which then owns the connection. *)
@@ -261,7 +303,16 @@ let handle_connection st fd =
   (* [peer.slow] models a stalling client on the accept path; the
      daemon must stay responsive and drain cleanly regardless. *)
   if Fault.fire "peer.slow" then Unix.sleepf 0.05;
-  match read_line_fd fd with
+  sweep_parked st;
+  if Fault.fire "peer.partition" then
+    st.partition_until <- Unix.gettimeofday () +. partition_window;
+  if Unix.gettimeofday () < st.partition_until then
+    (* Black-holed: the connection is accepted but never read nor
+       answered until the window passes.  Clients only escape via
+       their own deadlines — which is the point. *)
+    st.parked <- (st.partition_until, fd) :: st.parked
+  else
+  match read_request fd with
   | Error msg ->
     send fd (P.error_response msg);
     close_quietly fd
@@ -285,6 +336,12 @@ let handle_connection st fd =
       log st "shutdown requested, draining";
       Atomic.set st.stop true;
       send fd (P.to_json [ ("ok", P.Bool true); ("draining", P.Bool true) ]);
+      close_quietly fd
+    | Ok (P.Join _ | P.Leave _ | P.Drain _) ->
+      (* Ring membership lives in the router; a shard daemon has no
+         ring to reconfigure. *)
+      Metrics.record_error st.metrics;
+      send fd (P.error_response ~code:"router_only" "ring admin requests go to the router");
       close_quietly fd
     | Ok (P.Check { golden; revised; timeout_ms }) -> (
       match (load_netlist golden, load_netlist revised) with
@@ -341,6 +398,8 @@ let run cfg =
       nonempty = Condition.create ();
       draining = false;
       stop = Atomic.make false;
+      partition_until = 0.0;
+      parked = [];
     }
   in
   if cfg.listen = [] then invalid_arg "Server.run: empty listen list";
@@ -408,6 +467,9 @@ let run cfg =
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
   done;
   List.iter close_quietly listen_fds;
+  (* Connections still parked by a partition window get their EOF now. *)
+  List.iter (fun (_, fd) -> close_quietly fd) st.parked;
+  st.parked <- [];
   (* Drain: workers finish every queued job, then exit. *)
   Mutex.lock st.lock;
   st.draining <- true;

@@ -349,6 +349,72 @@ let test_wire_write_round_trip () =
   | Ok s -> Alcotest.(check int) "long line intact" 70000 (String.length s)
   | Error msg -> Alcotest.failf "long line failed: %s" msg)
 
+let test_wire_socket_framing () =
+  (* Sockets take the buffered MSG_PEEK fast path: frames must come
+     out exactly as written — including a body far larger than one
+     peek chunk — and nothing belonging to a later frame may be
+     swallowed by the buffering. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let big = String.make 50_000 'z' in
+  let writer =
+    Domain.spawn (fun () ->
+        Wire.write_line a "first";
+        Wire.write_line a big;
+        Wire.write_line a "last";
+        Unix.close a)
+  in
+  Alcotest.(check (result string string)) "first frame" (Ok "first") (Wire.read_line b);
+  (match Wire.read_line ~max_bytes:100_000 b with
+  | Ok s -> Alcotest.(check int) "big frame intact" 50_000 (String.length s)
+  | Error msg -> Alcotest.failf "big frame failed: %s" msg);
+  Alcotest.(check (result string string))
+    "later frame not swallowed" (Ok "last") (Wire.read_line b);
+  Alcotest.(check (result string string))
+    "EOF after the last frame" (Error "connection closed") (Wire.read_line b);
+  Domain.join writer;
+  Unix.close b
+
+let test_wire_socket_cap () =
+  (* The max_bytes bound survives the buffered path too. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Wire.write_line a (String.make 256 'x');
+  (match Wire.read_line ~max_bytes:64 b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "over-long socket line must be rejected");
+  Unix.close a;
+  Unix.close b
+
+let test_wire_read_deadline () =
+  (* A peer that connects and never writes must not block the reader
+     past its deadline; the expiry is a typed, comparable error. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let t0 = Unix.gettimeofday () in
+  (match Wire.read_line ~deadline:(t0 +. 0.15) b with
+  | Error msg -> Alcotest.(check string) "typed deadline error" Wire.deadline_error msg
+  | Ok s -> Alcotest.failf "read returned %S from a silent peer" s);
+  let elapsed = Unix.gettimeofday () -. t0 in
+  if elapsed > 2.0 then Alcotest.failf "deadline read took %.1fs" elapsed;
+  (* A half-written line stalls the same way (the connection is
+     abandoned mid-frame; real callers close it at this point). *)
+  ignore (Unix.write_substring a "half" 0 4);
+  (match Wire.read_line ~deadline:(Unix.gettimeofday () +. 0.15) b with
+  | Error msg -> Alcotest.(check string) "mid-line stall" Wire.deadline_error msg
+  | Ok s -> Alcotest.failf "read returned %S mid-line" s);
+  Unix.close a;
+  Unix.close b
+
+let test_wire_write_deadline () =
+  (* A full receive window must not wedge a deadline write forever:
+     once the peer stops draining and the buffers fill, write_all
+     raises ETIMEDOUT at the deadline. *)
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payload = String.make 1_000_000 'w' in
+  (match Wire.write_all ~deadline:(Unix.gettimeofday () +. 0.2) a payload with
+  | () -> Alcotest.fail "1MB into an undrained socketpair should exceed the deadline"
+  | exception Unix.Unix_error (Unix.ETIMEDOUT, "write", _) -> ());
+  Unix.close a;
+  Unix.close b
+
 (* --- the retrying client --- *)
 
 let test_client_retries_with_backoff () =
@@ -367,6 +433,7 @@ let test_client_retries_with_backoff () =
           seed = 1;
           sleep = (fun s -> sleeps := s :: !sleeps);
           connect_timeout_ms = None;
+          deadline_ms = None;
         }
       in
       (match Client.request ~config ~socket_path "ping" with
@@ -393,12 +460,54 @@ let test_client_missing_socket_transient () =
       seed = 0;
       sleep = (fun _ -> incr sleeps);
       connect_timeout_ms = None;
+      deadline_ms = None;
     }
   in
   (match Client.request ~config ~socket_path:"/nonexistent/cecd.sock" "ping" with
   | Ok _ -> Alcotest.fail "must fail"
   | Error _ -> ());
   Alcotest.(check int) "retried" 2 !sleeps
+
+let test_client_deadline_caps_backoff () =
+  with_temp_dir "fault-deadline" (fun dir ->
+      (* A bound socket with no listener: every attempt is a transient
+         ECONNREFUSED.  With a deadline the retry loop must stop
+         before sleeping past it and surface the last transient error
+         under a deadline tag — not burn all 50 retries. *)
+      let socket_path = Filename.concat dir "stale.sock" in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX socket_path);
+      Unix.close fd;
+      let sleeps = ref 0 in
+      let config =
+        {
+          Client.retries = 50;
+          base_delay_ms = 40.0;
+          seed = 3;
+          sleep = (fun _ -> incr sleeps);
+          connect_timeout_ms = None;
+          deadline_ms = Some 100.0;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Client.request ~config ~socket_path "ping" with
+      | Ok _ -> Alcotest.fail "nothing is listening; request must fail"
+      | Error msg ->
+        let prefix = "deadline exceeded" in
+        Alcotest.(check string)
+          "error carries the deadline tag" prefix
+          (String.sub msg 0 (min (String.length msg) (String.length prefix)));
+        Alcotest.(check bool) "last transient error preserved" true
+          (String.length msg > String.length prefix));
+      (* Exponential backoff against a 100ms budget: the loop must bail
+         out after a handful of (faked) sleeps, far short of the retry
+         budget, and without really sleeping anywhere near 50 rounds. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "stopped early (%d sleeps)" !sleeps)
+        true
+        (!sleeps > 0 && !sleeps < 10);
+      let elapsed = Unix.gettimeofday () -. t0 in
+      if elapsed > 5.0 then Alcotest.failf "deadline run took %.1fs" elapsed)
 
 (* --- batch degradation --- *)
 
@@ -595,8 +704,14 @@ let suites =
         Alcotest.test_case "read_line framing" `Quick test_wire_read_line;
         Alcotest.test_case "read_line cap" `Quick test_wire_read_line_cap;
         Alcotest.test_case "write round trip" `Quick test_wire_write_round_trip;
+        Alcotest.test_case "socket framing (buffered)" `Quick test_wire_socket_framing;
+        Alcotest.test_case "socket cap (buffered)" `Quick test_wire_socket_cap;
+        Alcotest.test_case "read deadline" `Quick test_wire_read_deadline;
+        Alcotest.test_case "write deadline" `Quick test_wire_write_deadline;
         Alcotest.test_case "client backoff" `Quick test_client_retries_with_backoff;
         Alcotest.test_case "client missing socket" `Quick test_client_missing_socket_transient;
+        Alcotest.test_case "client deadline caps backoff" `Quick
+          test_client_deadline_caps_backoff;
       ] );
     ( "fault-daemon",
       [

@@ -110,6 +110,21 @@ let test_ring_movement_fraction () =
   if !moved > keys / 3 then
     Alcotest.failf "%d of %d keys moved on one join (expected ~%d)" !moved keys (keys / 9)
 
+let test_moved_fraction_estimate () =
+  (* The sampled estimator the router reports at reconfiguration must
+     agree with the movement bound pinned above. *)
+  let shards = List.init 8 (fun i -> Printf.sprintf "shard-%d" i) in
+  let before = Ring.create shards in
+  let after = Ring.add before "shard-8" in
+  let f = Ring.moved_fraction ~before ~after () in
+  if f <= 0.0 || f > 1.0 /. 3.0 then
+    Alcotest.failf "moved fraction %.3f outside (0, 1/3] on an 8->9 join" f;
+  Alcotest.(check (float 1e-9)) "identical rings move nothing" 0.0
+    (Ring.moved_fraction ~before ~after:before ());
+  (match Ring.moved_fraction ~keys:0 ~before ~after () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "keys=0 accepted")
+
 (* --- addresses --- *)
 
 let test_addr_parse () =
@@ -489,6 +504,274 @@ let test_fleet_end_to_end () =
       end)
     shards
 
+(* --- live reconfiguration, deadlines, coalescing, shedding --- *)
+
+let start_shard dir id =
+  let store_dir = Filename.concat dir ("store-" ^ id) in
+  let cell, on_listen = addr_cell () in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:"unused" ~store_dir) with
+      Server.listen = [ Addr.Tcp ("127.0.0.1", 0) ];
+      log = false;
+      on_listen = (fun addrs -> on_listen (List.hd addrs));
+    }
+  in
+  let domain = Domain.spawn (fun () -> Server.run cfg) in
+  (id, await_addr cell, domain)
+
+let stop_shard (_, addr, domain) =
+  ignore (request_exn addr "shutdown");
+  ignore (Domain.join domain)
+
+let start_router ?(replicas = 1) ?(workers = 4) ?(max_inflight = 8) ?(queue_capacity = 128)
+    shards =
+  let cell, on_listen = addr_cell () in
+  let cfg =
+    {
+      (Router.default_config
+         ~listen:(Addr.Tcp ("127.0.0.1", 0))
+         ~shards:(List.map (fun (id, addr, _) -> { Router.id; addr }) shards))
+      with
+      Router.replicas;
+      workers;
+      max_inflight;
+      queue_capacity;
+      probe_interval_ms = 100.;
+      connect_timeout_ms = 1000.;
+      log = false;
+      on_listen;
+    }
+  in
+  let domain = Domain.spawn (fun () -> Router.run cfg) in
+  (await_addr cell, domain)
+
+let stop_router addr domain =
+  ignore (request_exn addr "shutdown");
+  ignore (Domain.join domain)
+
+let fault_spec s =
+  match Fault.parse s with Ok spec -> spec | Error msg -> Alcotest.fail msg
+
+let test_fleet_reconfiguration () =
+  let dir = temp_dir "fleet-reconf" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let pairs =
+    List.mapi
+      (fun i (golden, revised, expected) ->
+        let gp = Filename.concat dir (Printf.sprintf "g%d.aig" i) in
+        let rp = Filename.concat dir (Printf.sprintf "r%d.aig" i) in
+        Aig.Aiger.write_file gp golden;
+        Aig.Aiger.write_file rp revised;
+        (gp, rp, expected))
+      (fleet_pairs ())
+  in
+  let s0 = start_shard dir "s0" and s1 = start_shard dir "s1" in
+  (* s2's daemon is up from the start; it just isn't in the ring yet. *)
+  let s2 = start_shard dir "s2" in
+  let router_addr, router = start_router ~replicas:2 [ s0; s1 ] in
+  let check_all what =
+    List.iter
+      (fun (gp, rp, expected) ->
+        let r = request_exn router_addr (Printf.sprintf "check %s %s" gp rp) in
+        Alcotest.(check string) (what ^ " verdict") expected (field_exn "status" r))
+      pairs
+  in
+  let stat name = field_exn name (request_exn router_addr "stats") in
+  Alcotest.(check string) "two shards at boot" "2" (stat "shards");
+  Alcotest.(check string) "epoch starts at zero" "0" (stat "epoch");
+  check_all "pre-join";
+
+  (* Join the standby daemon: no restart, epoch bump, bounded movement. *)
+  let _, s2_addr, _ = s2 in
+  let join_line = Printf.sprintf "join s2 %s" (Addr.to_string s2_addr) in
+  let r = request_exn router_addr join_line in
+  Alcotest.(check string) "join ok" "true" (field_exn "ok" r);
+  Alcotest.(check string) "join bumps the epoch" "1" (field_exn "epoch" r);
+  let moved = float_of_string (field_exn "moved_fraction" r) in
+  if moved <= 0.0 || moved > 0.67 then
+    Alcotest.failf "2->3 join reports moved fraction %.3f, outside (0, 2/3]" moved;
+  Alcotest.(check string) "three shards after join" "3" (stat "shards");
+  (match Protocol.field "error" (request_exn router_addr join_line) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "duplicate join accepted");
+  check_all "post-join";
+
+  (* Drain: replica-only, still a member, no epoch bump. *)
+  let r = request_exn router_addr "drain s2" in
+  Alcotest.(check string) "drain ok" "true" (field_exn "ok" r);
+  Alcotest.(check string) "drain keeps the epoch" "1" (field_exn "epoch" r);
+  Alcotest.(check string) "draining visible in stats" "1" (stat "shards_draining");
+  Alcotest.(check string) "drained shard still counted" "3" (stat "shards");
+  check_all "during-drain";
+
+  (* Leave: drains, waits out in-flight work, removes from the ring. *)
+  let r = request_exn router_addr "leave s2" in
+  Alcotest.(check string) "leave ok" "true" (field_exn "ok" r);
+  Alcotest.(check string) "leave names the shard" "s2" (field_exn "removed" r);
+  Alcotest.(check string) "leave bumps the epoch" "2" (field_exn "epoch" r);
+  Alcotest.(check string) "idle shard drains instantly" "true" (field_exn "drained" r);
+  Alcotest.(check string) "back to two shards" "2" (stat "shards");
+  Alcotest.(check string) "nothing left draining" "0" (stat "shards_draining");
+  check_all "post-leave";
+
+  (* Unknown ids and bad addresses are typed errors, not crashes. *)
+  List.iter
+    (fun line ->
+      match Protocol.field "error" (request_exn router_addr line) with
+      | Some _ -> ()
+      | None -> Alcotest.failf "%S accepted" line)
+    [ "leave ghost"; "drain ghost"; "join s3 nowhere:-1" ];
+
+  (* Shrinking to one shard works; emptying the ring is refused. *)
+  Alcotest.(check string) "s1 leaves" "true" (field_exn "ok" (request_exn router_addr "leave s1"));
+  (match Protocol.field "error" (request_exn router_addr "leave s0") with
+  | Some _ -> ()
+  | None -> Alcotest.fail "emptied the ring");
+  Alcotest.(check string) "single shard left" "1" (stat "shards");
+  Alcotest.(check string) "epoch counts every change" "3" (stat "epoch");
+  check_all "single-shard";
+
+  (* The epoch is observable as a fleet gauge, not just in stats. *)
+  (match Snapshot.gauges (request_exn router_addr "metrics") with
+  | Ok gauges ->
+    Alcotest.(check (float 1e-9)) "epoch gauge" 3.0
+      (Option.value ~default:(-1.) (List.assoc_opt "fleet.ring_epoch" gauges))
+  | Error msg -> Alcotest.failf "fleet metrics unparsable: %s" msg);
+
+  stop_router router_addr router;
+  List.iter stop_shard [ s0; s1; s2 ]
+
+let test_fleet_deadline () =
+  let dir = temp_dir "fleet-deadline" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let gp = Filename.concat dir "g.aig" and rp = Filename.concat dir "r.aig" in
+  Aig.Aiger.write_file gp (Key.normalize (Circuits.Datapath.parity 6));
+  Aig.Aiger.write_file rp
+    (Key.normalize (Circuits.Rewrite.double_negate (Circuits.Datapath.parity 6)));
+  let s0 = start_shard dir "s0" in
+  let router_addr, router = start_router [ s0 ] in
+  (* Partition the only shard: it accepts connections but never answers.
+     The request's own 300ms budget must come back as a typed error long
+     before the 10s default, with no router worker wedged. *)
+  Fault.with_spec (fault_spec "peer.partition:1.0") (fun () ->
+      let t0 = Unix.gettimeofday () in
+      let r = request_exn router_addr (Printf.sprintf "check %s %s 300" gp rp) in
+      let elapsed = Unix.gettimeofday () -. t0 in
+      Alcotest.(check string) "typed deadline error" "deadline_exceeded" (field_exn "code" r);
+      if elapsed > 5.0 then
+        Alcotest.failf "deadline response took %.1fs against a 300ms budget" elapsed);
+  let stats = request_exn router_addr "stats" in
+  Alcotest.(check bool) "deadline counted" true
+    (int_of_string (field_exn "deadline_exceeded" stats) >= 1);
+  Alcotest.(check string) "never a wrong or dropped answer" "0" (field_exn "unavailable" stats);
+  (* Let the shard's partition window lapse, then it must serve again. *)
+  Unix.sleepf 0.7;
+  let r = request_exn router_addr (Printf.sprintf "check %s %s" gp rp) in
+  Alcotest.(check string) "shard answers after the partition heals" "equivalent"
+    (field_exn "status" r);
+  stop_router router_addr router;
+  stop_shard s0
+
+let test_fleet_coalescing () =
+  let dir = temp_dir "fleet-coalesce" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let gp = Filename.concat dir "g.aig" and rp = Filename.concat dir "r.aig" in
+  Aig.Aiger.write_file gp (Key.normalize (Circuits.Multiplier.array 4));
+  Aig.Aiger.write_file rp (Key.normalize (Circuits.Multiplier.shift_add 4));
+  let s0 = start_shard dir "s0" in
+  let router_addr, router = start_router ~workers:6 [ s0 ] in
+  let line = Printf.sprintf "check %s %s" gp rp in
+  let coalesced () = int_of_string (field_exn "coalesced" (request_exn router_addr "stats")) in
+  (* The shard-side slow fault keeps every exchange >= 50ms, so a salvo
+     of identical keys overlaps in flight; the first round also pays a
+     cold multiplier solve.  Retry a few salvos rather than trusting one
+     race. *)
+  Fault.with_spec (fault_spec "peer.slow:1.0") (fun () ->
+      let rec rounds n =
+        if coalesced () = 0 then
+          if n = 0 then Alcotest.fail "no salvo ever overlapped in flight"
+          else begin
+            let clients =
+              List.init 6 (fun _ -> Domain.spawn (fun () -> Server.request_addr router_addr line))
+            in
+            List.iter
+              (fun d ->
+                match Domain.join d with
+                | Ok r ->
+                  Alcotest.(check string) "salvo verdict" "equivalent" (field_exn "status" r)
+                | Error msg -> Alcotest.failf "salvo request failed: %s" msg)
+              clients;
+            rounds (n - 1)
+          end
+      in
+      rounds 20);
+  Alcotest.(check bool) "coalesced requests counted" true (coalesced () >= 1);
+  stop_router router_addr router;
+  stop_shard s0
+
+let test_fleet_shedding_concurrent () =
+  let dir = temp_dir "fleet-shed" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* Eight distinct keys, so coalescing cannot absorb the burst. *)
+  let lines =
+    List.init 8 (fun i ->
+        let n = 4 + i in
+        let gp = Filename.concat dir (Printf.sprintf "g%d.aig" i) in
+        let rp = Filename.concat dir (Printf.sprintf "r%d.aig" i) in
+        Aig.Aiger.write_file gp (Key.normalize (Circuits.Datapath.parity n));
+        Aig.Aiger.write_file rp
+          (Key.normalize (Circuits.Rewrite.double_negate (Circuits.Datapath.parity n)));
+        Printf.sprintf "check %s %s" gp rp)
+  in
+  let s0 = start_shard dir "s0" in
+  let router_addr, router = start_router ~workers:4 ~max_inflight:1 ~queue_capacity:1 [ s0 ] in
+  let responses =
+    (* peer.slow holds the one admitted forward >= 50ms, and a start
+       barrier lands all eight clients inside that window. *)
+    Fault.with_spec (fault_spec "peer.slow:1.0") (fun () ->
+        let ready = Atomic.make 0 in
+        let clients =
+          List.map
+            (fun line ->
+              Domain.spawn (fun () ->
+                  Atomic.incr ready;
+                  while Atomic.get ready < 8 do
+                    Domain.cpu_relax ()
+                  done;
+                  Server.request_addr router_addr line))
+            lines
+        in
+        List.map Domain.join clients)
+  in
+  let ok = ref 0 and shed = ref 0 in
+  List.iter
+    (fun resp ->
+      match resp with
+      | Error msg -> Alcotest.failf "client saw a transport error: %s" msg
+      | Ok r -> (
+        match Protocol.field "status" r with
+        | Some "equivalent" -> incr ok
+        | Some other -> Alcotest.failf "wrong verdict %S under overload" other
+        | None ->
+          Alcotest.(check string) "typed overload" "overloaded" (field_exn "code" r);
+          ignore (int_of_string (field_exn "retry_after_ms" r));
+          incr shed))
+    responses;
+  Alcotest.(check int) "every client answered" 8 (!ok + !shed);
+  if !ok = 0 then Alcotest.fail "nothing got through the burst";
+  if !shed = 0 then Alcotest.fail "an 8-way burst against in-flight 1 shed nothing";
+  (* The router's books agree with what the clients saw. *)
+  let stats = request_exn router_addr "stats" in
+  Alcotest.(check int) "overloaded counter matches the shed clients" !shed
+    (int_of_string (field_exn "overloaded" stats));
+  Alcotest.(check int) "forwarded counter matches the served clients" !ok
+    (int_of_string (field_exn "forwarded" stats));
+  Alcotest.(check string) "no unavailable responses" "0" (field_exn "unavailable" stats);
+  Alcotest.(check string) "distinct keys never coalesce" "0" (field_exn "coalesced" stats);
+  stop_router router_addr router;
+  stop_shard s0
+
 let suites =
   [
     ( "fleet",
@@ -499,6 +782,7 @@ let suites =
         ring_monotonic_remove;
         ring_replicas_distinct;
         Alcotest.test_case "ring movement on join" `Quick test_ring_movement_fraction;
+        Alcotest.test_case "moved-fraction estimator" `Quick test_moved_fraction_estimate;
         Alcotest.test_case "addr parse" `Quick test_addr_parse;
         Alcotest.test_case "connect timeout is bounded" `Quick test_connect_timeout;
         Alcotest.test_case "admission" `Quick test_admission;
@@ -506,5 +790,9 @@ let suites =
         Alcotest.test_case "snapshot merge" `Quick test_snapshot_merge;
         Alcotest.test_case "snapshot rejects garbage" `Quick test_snapshot_rejects_garbage;
         Alcotest.test_case "loopback fleet end to end" `Slow test_fleet_end_to_end;
+        Alcotest.test_case "live ring reconfiguration" `Slow test_fleet_reconfiguration;
+        Alcotest.test_case "deadline beats a partitioned shard" `Slow test_fleet_deadline;
+        Alcotest.test_case "identical keys coalesce" `Slow test_fleet_coalescing;
+        Alcotest.test_case "overload burst sheds typed errors" `Slow test_fleet_shedding_concurrent;
       ] );
   ]
